@@ -1,0 +1,58 @@
+// Shared helpers for the experiment binaries.
+//
+// Every binary accepts:
+//   --csv     emit CSV instead of the aligned table
+//   --large   run the paper-scale sweep (defaults are CI-speed)
+//   --seed=N  override the base seed (printed either way for replay)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "support/table.hpp"
+
+namespace arvy::bench {
+
+struct Args {
+  bool csv = false;
+  bool large = false;
+  std::uint64_t seed = 1;
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--large") {
+      args.large = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = std::stoull(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--csv] [--large] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void emit(const support::Table& table, const Args& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void banner(const char* experiment, const char* claim,
+                   const Args& args) {
+  std::printf("== %s ==\n%s\n(seed=%llu%s)\n\n", experiment, claim,
+              static_cast<unsigned long long>(args.seed),
+              args.large ? ", --large sweep" : "");
+}
+
+}  // namespace arvy::bench

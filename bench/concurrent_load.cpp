@@ -1,0 +1,97 @@
+// Experiment E13a: behaviour under concurrent load in the discrete-event
+// simulator. Poisson bursts of varying intensity; reports total find cost,
+// the batch MST lower bound, and completion (simulated) time per policy.
+// Concurrency is where Arvy's correctness machinery earns its keep: all
+// runs also pass the liveness audit.
+#include "analysis/latency.hpp"
+#include "analysis/opt.hpp"
+#include "analysis/ordering.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/liveness.hpp"
+#include "workload/workload.hpp"
+
+using namespace arvy;
+using graph::NodeId;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner(
+      "E13a: concurrent request load (simulator)",
+      "Poisson arrivals while earlier finds are still in flight; cost vs the\n"
+      "exact batch optimum (Held-Karp; MST bound for large bursts); liveness\n"
+      "audited on every run.",
+      args);
+
+  support::Table table({"topology", "policy", "arrivals", "rate",
+                        "find_cost", "batch_opt", "cost/opt",
+                        "lat_p50", "lat_p99", "liveness"});
+  struct Topo {
+    std::string name;
+    graph::Graph g;
+    bool ring;
+  };
+  std::vector<Topo> topologies;
+  topologies.push_back({"ring16", graph::make_ring(16), true});
+  topologies.push_back({"grid4x4", graph::make_grid(4, 4), false});
+  if (args.large) {
+    topologies.push_back({"ring64", graph::make_ring(64), true});
+    topologies.push_back({"torus6x6", graph::make_torus(6, 6), false});
+  }
+
+  for (auto& topo : topologies) {
+    const std::size_t n = topo.g.node_count();
+    for (double rate : {0.2, 1.0, 5.0}) {
+      for (proto::PolicyKind kind :
+           {proto::PolicyKind::kArrow, proto::PolicyKind::kIvy,
+            proto::PolicyKind::kBridge}) {
+        if (kind == proto::PolicyKind::kBridge && !topo.ring) continue;
+        const auto init = kind == proto::PolicyKind::kBridge
+                              ? proto::ring_bridge_config(n)
+                              : proto::from_tree(graph::bfs_tree(topo.g, 0));
+        support::Rng rng(args.seed + static_cast<std::uint64_t>(rate * 10));
+        const std::size_t count = n / 2;
+        const auto arrivals = workload::poisson_arrivals(n, count, rate, rng);
+        auto policy = proto::make_policy(kind);
+        proto::SimEngine::Options options;
+        options.seed = args.seed;
+        options.delay = sim::make_uniform_delay(0.2, 2.0);
+        proto::SimEngine engine(topo.g, init, *policy, std::move(options));
+        engine.run_concurrent(arrivals);
+        std::vector<NodeId> requesters;
+        for (const auto& a : arrivals) requesters.push_back(a.node);
+        // Exact path-TSP optimum when the burst is small enough for
+        // Held-Karp; otherwise fall back to the MST lower bound.
+        const double opt_value =
+            requesters.size() <= 16
+                ? analysis::exact_batch_opt(engine.oracle(), init.root,
+                                            requesters)
+                      .cost
+                : analysis::opt_burst_lower_bound(engine.oracle(), init.root,
+                                                  requesters);
+        const auto liveness = verify::audit_liveness(engine);
+        const auto latency = analysis::measure_latency(engine);
+        table.add_row(
+            {topo.name, std::string(proto::policy_kind_name(kind)),
+             support::Table::cell(count), support::Table::cell(rate, 1),
+             support::Table::cell(engine.costs().find_distance, 0),
+             support::Table::cell(opt_value, 1),
+             support::Table::cell(engine.costs().find_distance / opt_value, 2),
+             support::Table::cell(latency.latency.p50, 1),
+             support::Table::cell(latency.latency.p99, 1),
+             liveness.ok ? "ok" : "FAIL"});
+      }
+    }
+  }
+  bench::emit(table, args);
+  std::printf(
+      "\nExpected shape: liveness ok on every row (Theorem 5 under real\n"
+      "concurrency); cost/opt (exact Held-Karp batch optimum for bursts of\n"
+      "<= 16, MST lower bound beyond) grows with the arrival rate - more\n"
+      "interleaved finds chase a moving token - and is smallest for the\n"
+      "topology-matched policy.\n");
+  return 0;
+}

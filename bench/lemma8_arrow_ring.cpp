@@ -1,0 +1,64 @@
+// Experiment E5 (Lemma 8, Arrow half): Arrow's competitive ratio on rings is
+// Omega(n). Any spanning tree of the ring has a pair with stretch Omega(n)
+// [Rabinovich-Raz]; alternating across the worst pair makes Arrow pay the
+// tree path against OPT's ring hop. The bridge policy on the same sequence
+// stays constant.
+#include "analysis/competitive.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "support/stats.hpp"
+#include "workload/adversarial.hpp"
+
+using namespace arvy;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner(
+      "E5 (Lemma 8, Arrow): Omega(n) lower bound on rings",
+      "Alternating requests across the spanning path's worst-stretch pair.\n"
+      "Arrow's measured ratio must grow linearly with n; Arvy+bridge stays "
+      "constant.",
+      args);
+
+  support::Table table({"n", "stretch_pair", "requests", "opt", "arrow_ratio",
+                        "arrow_ratio/n", "bridge_ratio"});
+  std::vector<std::size_t> sizes{8, 16, 32, 64, 128};
+  if (args.large) sizes = {8, 16, 32, 64, 128, 256, 512};
+
+  std::vector<double> xs, ys;
+  for (std::size_t n : sizes) {
+    const auto g = graph::make_ring(n);
+    const auto tree =
+        graph::ring_path_tree(g, static_cast<graph::NodeId>(n / 2));
+    const auto report = graph::max_stretch_pair(g, tree);
+    const auto seq = workload::arrow_worst_alternation(g, tree, 4 * n);
+    auto arrow = proto::make_policy(proto::PolicyKind::kArrow);
+    const auto arrow_report = analysis::measure_sequential(
+        g, proto::from_tree(tree), *arrow, seq, args.seed);
+    auto bridge = proto::make_policy(proto::PolicyKind::kBridge);
+    const auto bridge_report = analysis::measure_sequential(
+        g, proto::ring_bridge_config(n), *bridge, seq, args.seed);
+    char pair[32];
+    std::snprintf(pair, sizeof pair, "(%u,%u) x%.0f", report.a, report.b,
+                  report.max_stretch);
+    table.add_row(
+        {support::Table::cell(n), pair, support::Table::cell(seq.size()),
+         support::Table::cell(arrow_report.opt, 1),
+         support::Table::cell(arrow_report.ratio_find_only, 2),
+         support::Table::cell(arrow_report.ratio_find_only /
+                                  static_cast<double>(n),
+                              4),
+         support::Table::cell(bridge_report.ratio_find_only, 3)});
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(arrow_report.ratio_find_only);
+  }
+  bench::emit(table, args);
+  const auto fit = support::fit_linear(xs, ys);
+  std::printf(
+      "\nlinear fit: arrow_ratio ~ %.3f + %.3f * n (R^2 = %.3f)\n"
+      "Expected shape: slope ~ 0.9-1.0 (ratio ~ n-1), R^2 ~ 1;\n"
+      "bridge_ratio column flat and <= ~5.\n",
+      fit.intercept, fit.slope, fit.r2);
+  return 0;
+}

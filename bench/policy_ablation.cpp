@@ -1,0 +1,89 @@
+// Experiment E10: NewParent policy ablation - the design space Arvy opens
+// (§1: "really a family of protocols"). Every bundled policy on every
+// experiment topology under uniform and local workloads.
+#include "analysis/competitive.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/tree_metrics.hpp"
+#include "proto/policies.hpp"
+#include "workload/workload.hpp"
+
+using namespace arvy;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner(
+      "E10: NewParent policy ablation",
+      "Find-cost competitive ratio of every bundled policy per topology\n"
+      "(sequential workloads; bridge runs only on its canonical ring).",
+      args);
+
+  struct Topo {
+    std::string name;
+    graph::Graph g;
+    bool ring = false;
+  };
+  support::Rng build_rng(args.seed);
+  std::vector<Topo> topologies;
+  topologies.push_back({"ring32", graph::make_ring(32), true});
+  topologies.push_back({"grid6x6", graph::make_grid(6, 6), false});
+  topologies.push_back({"complete24", graph::make_complete(24), false});
+  topologies.push_back(
+      {"rtree24", graph::make_random_tree(24, build_rng), false});
+  topologies.push_back(
+      {"hcube5", graph::make_hypercube(5), false});
+  if (args.large) {
+    topologies.push_back({"ring128", graph::make_ring(128), true});
+    topologies.push_back({"torus8x8", graph::make_torus(8, 8), false});
+    topologies.push_back(
+        {"geo48", graph::make_random_geometric(48, 0.3, build_rng), false});
+  }
+
+  support::Table table({"topology", "workload", "arrow", "ivy", "bridge",
+                        "random", "midpoint", "closest", "kback2",
+                        "spectrum.5"});
+  for (auto& topo : topologies) {
+    const std::size_t n = topo.g.node_count();
+    struct Load {
+      const char* name;
+      std::vector<graph::NodeId> seq;
+    };
+    support::Rng wrng(args.seed + 5);
+    std::vector<Load> loads;
+    loads.push_back(
+        {"uniform", workload::uniform_sequence(n, args.large ? 160 : 60, wrng)});
+    loads.push_back(
+        {"local", workload::local_walk_sequence(topo.g, args.large ? 160 : 60,
+                                                2, wrng)});
+    loads.push_back(
+        {"zipf1.2", workload::zipf_sequence(n, args.large ? 160 : 60, 1.2,
+                                            wrng)});
+    for (auto& load : loads) {
+      std::vector<std::string> row{topo.name, load.name};
+      for (proto::PolicyKind kind : proto::all_policy_kinds()) {
+        if (kind == proto::PolicyKind::kBridge && !topo.ring) {
+          row.push_back("-");
+          continue;
+        }
+        const auto init =
+            kind == proto::PolicyKind::kBridge
+                ? proto::ring_bridge_config(n)
+                : proto::from_tree(shortest_path_tree(
+                      topo.g, graph::metric_summary(topo.g).center));
+        auto policy = proto::make_policy(kind, 2);
+        const auto report = analysis::measure_sequential(
+            topo.g, init, *policy, load.seq, args.seed);
+        row.push_back(support::Table::cell(report.ratio_find_only, 2));
+      }
+      table.add_row(std::move(row));
+    }
+  }
+  bench::emit(table, args);
+  std::printf(
+      "\nExpected shape: ivy wins on complete graphs, arrow on trees,\n"
+      "bridge on rings; the intermediate policies (random/midpoint/closest/\n"
+      "kback) interpolate - no single fixed extreme dominates everywhere,\n"
+      "which is the motivation for the Arvy family.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Experiment E13b: micro-benchmarks (google-benchmark) of the substrate and
+// the end-to-end engines - event throughput of the discrete-event bus, the
+// protocol engine, and the threaded actor runtime.
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "runtime/actor_system.hpp"
+#include "sim/bus.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+void BM_BusSendDeliver(benchmark::State& state) {
+  struct Toy {
+    int x;
+  };
+  sim::MessageBus<Toy>::Options options;
+  options.discipline = sim::Discipline::kFifo;
+  sim::MessageBus<Toy> bus(std::move(options));
+  bus.set_handler([](const sim::MessageBus<Toy>::InFlight&) {});
+  for (auto _ : state) {
+    bus.send(0, 1, {1});
+    bus.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusSendDeliver);
+
+void BM_DijkstraRing(benchmark::State& state) {
+  const auto g = graph::make_ring(static_cast<std::size_t>(state.range(0)));
+  NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, src));
+    src = static_cast<NodeId>((src + 1) % g.node_count());
+  }
+}
+BENCHMARK(BM_DijkstraRing)->Arg(64)->Arg(512);
+
+void BM_SequentialRequests(benchmark::State& state) {
+  // Whole-protocol throughput: requests per second through the simulator,
+  // per policy (argument index into all_policy_kinds, bridge on a ring).
+  const auto kind =
+      proto::all_policy_kinds()[static_cast<std::size_t>(state.range(0))];
+  const std::size_t n = 64;
+  const auto g = graph::make_ring(n);
+  const auto init = kind == proto::PolicyKind::kBridge
+                        ? proto::ring_bridge_config(n)
+                        : proto::from_tree(graph::bfs_tree(g, 0));
+  auto policy = proto::make_policy(kind, 2);
+  proto::SimEngine engine(g, init, *policy, {});
+  support::Rng rng(1);
+  for (auto _ : state) {
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (!engine.node(v).holds_token()) {
+      engine.submit(v);
+      engine.run_until_idle();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(std::string(proto::policy_kind_name(kind)));
+}
+BENCHMARK(BM_SequentialRequests)->DenseRange(0, 2);  // arrow, ivy, bridge
+
+void BM_ConcurrentBurst(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g = graph::make_complete(n);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  for (auto _ : state) {
+    state.PauseTiming();
+    proto::SimEngine::Options options;
+    options.discipline = sim::Discipline::kRandom;
+    options.seed = 7;
+    proto::SimEngine engine(g, proto::chain_config(n), *policy,
+                            std::move(options));
+    state.ResumeTiming();
+    for (NodeId v = 0; v + 1 < n; ++v) engine.submit(v);
+    engine.run_until_idle();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(n - 1));
+}
+BENCHMARK(BM_ConcurrentBurst)->Arg(16)->Arg(64);
+
+void BM_ActorRuntimeRound(benchmark::State& state) {
+  // End-to-end threaded handoff latency: one request per iteration on an
+  // 8-node ring (thread wakeups dominate; this is the realistic transport).
+  const auto g = graph::make_ring(8);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorSystem system(g, proto::ring_bridge_config(8), *policy);
+  support::Rng rng(3);
+  std::uint64_t satisfied = 0;
+  for (auto _ : state) {
+    const auto v = static_cast<NodeId>(rng.next_below(8));
+    system.request(v);
+    system.wait_for_satisfied(++satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ActorRuntimeRound)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Experiment E12: per-node and per-message space audit across policies -
+// quantifying "constant space per node" (paper abstract) and the message
+// overhead each NewParent policy actually requires.
+#include "analysis/space.hpp"
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "proto/policies.hpp"
+#include "workload/workload.hpp"
+
+using namespace arvy;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::banner(
+      "E12: space per node and per message",
+      "Algorithm 1 state is p(v), n(v), token and outstanding bits (4 "
+      "words).\nPolicies add: bridge +1 flag word; path-dependent policies "
+      "need the\nvisited history in messages (peak grows with n).",
+      args);
+
+  support::Table table({"policy", "n", "node_words", "msg_words_const",
+                        "msg_words_peak", "needs_full_path"});
+  for (std::size_t n : {16u, 64u, args.large ? 512u : 128u}) {
+    const auto g = graph::make_ring(n);
+    support::Rng rng(args.seed);
+    const auto seq = workload::uniform_sequence(n, 60, rng);
+    for (proto::PolicyKind kind : proto::all_policy_kinds()) {
+      const auto init = kind == proto::PolicyKind::kBridge
+                            ? proto::ring_bridge_config(n)
+                            : proto::from_tree(graph::bfs_tree(g, 0));
+      auto policy = proto::make_policy(kind, 2);
+      proto::SimEngine engine(g, init, *policy, {});
+      engine.run_sequential(seq);
+      const auto report = analysis::measure_space(engine);
+      table.add_row({report.policy, support::Table::cell(n),
+                     support::Table::cell(report.total_node_words()),
+                     support::Table::cell(report.message_words_constant),
+                     support::Table::cell(report.message_words_peak),
+                     report.needs_full_path ? "yes" : "no"});
+    }
+  }
+  bench::emit(table, args);
+  std::printf(
+      "\nExpected shape: node_words constant in n for every policy (5 for\n"
+      "bridge, 4 otherwise); msg_words_peak constant for arrow/ivy/bridge\n"
+      "and growing with the longest find path for the full-path policies.\n");
+  return 0;
+}

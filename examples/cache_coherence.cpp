@@ -1,0 +1,81 @@
+// Cache coherence: the paper's original motivation (§1). A multiprocessor
+// where cores on a 2D mesh contend for write ownership of shared cache
+// lines; one independent Arvy instance per line (MultiDirectory).
+//
+//   $ ./cache_coherence
+//
+// Simulates a 4x4 mesh of cores, 8 cache lines, and a workload where each
+// line has a community of frequent writers (Zipf-selected). Compares the
+// interconnect traffic of Arrow, Ivy, and the midpoint policy.
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "proto/directory.hpp"
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+struct Write {
+  std::size_t line;
+  arvy::graph::NodeId core;
+};
+
+double run(const arvy::graph::Graph& mesh, const std::vector<Write>& writes,
+           arvy::proto::PolicyKind policy, std::size_t lines) {
+  arvy::MultiDirectory directory(mesh, lines, {.policy = policy});
+  for (const Write& w : writes) {
+    directory.acquire_and_wait(w.line, w.core);
+  }
+  return directory.total_costs().total_distance();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kLines = 8;
+  constexpr std::size_t kWritesPerLine = 60;
+  const auto mesh = arvy::graph::make_grid(4, 4);
+  arvy::support::Rng rng(2024);
+
+  // Workload: each cache line is mostly written by a hot community of
+  // cores (Zipf over a per-line shuffled core order) - false sharing and
+  // migratory patterns both appear.
+  std::vector<Write> writes;
+  for (std::size_t line = 0; line < kLines; ++line) {
+    auto sequence =
+        arvy::workload::zipf_sequence(mesh.node_count(), kWritesPerLine,
+                                      /*alpha=*/1.3, rng);
+    for (arvy::graph::NodeId core : sequence) {
+      writes.push_back({line, core});
+    }
+  }
+  // Interleave lines round-robin so ownership of different lines migrates
+  // concurrently, as in a real write stream.
+  std::vector<Write> interleaved;
+  for (std::size_t i = 0; i < kWritesPerLine; ++i) {
+    for (std::size_t line = 0; line < kLines; ++line) {
+      interleaved.push_back(writes[line * kWritesPerLine + i]);
+    }
+  }
+
+  std::printf("cache-coherence simulation: 4x4 mesh, %zu lines, %zu writes\n\n",
+              kLines, interleaved.size());
+  std::printf("%-10s  %s\n", "policy", "interconnect distance (lower is better)");
+  for (auto policy : {arvy::proto::PolicyKind::kArrow,
+                      arvy::proto::PolicyKind::kIvy,
+                      arvy::proto::PolicyKind::kMidpoint,
+                      arvy::proto::PolicyKind::kClosest}) {
+    const double cost = run(mesh, interleaved, policy, kLines);
+    std::printf("%-10s  %8.0f\n",
+                std::string(arvy::proto::policy_kind_name(policy)).c_str(),
+                cost);
+  }
+  std::printf(
+      "\nEach cache line is an independent Arvy instance; the directory\n"
+      "serializes writers per line exactly like an MSI owner-tracking\n"
+      "protocol, and the NewParent policy controls how aggressively the\n"
+      "owner-lookup tree adapts to the write pattern.\n");
+  return 0;
+}

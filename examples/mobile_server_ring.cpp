@@ -1,0 +1,62 @@
+// Mobile server on a metro ring: the paper's "coordinate access to a mobile
+// server" application (§1) on the topology where Arvy shines (§6).
+//
+//   $ ./mobile_server_ring
+//
+// Sixteen edge sites on a metro fiber ring share one migratable service
+// instance. Demand moves around the ring through the day; the directory
+// both locates the server and migrates it to each demanding site. Compares
+// the Algorithm 2 bridge policy with Arrow and Ivy on identical demand, and
+// against the offline optimum.
+#include <cstdio>
+
+#include "analysis/competitive.hpp"
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  constexpr std::size_t kSites = 16;
+  const auto ring = arvy::graph::make_ring(kSites);
+  arvy::support::Rng rng(7);
+
+  // Demand pattern: commuter traffic bouncing between two neighbourhoods
+  // that are ADJACENT on the fiber ring (sites 15,14,13 vs 0,1,2) - one ring
+  // hop apart, but on opposite sides of any fixed spanning path's cut. This
+  // is exactly the pattern §6 proves no static tree can serve well: the
+  // requests have tiny optimal cost yet cross the tree's worst-stretch pair.
+  std::vector<arvy::graph::NodeId> demand;
+  for (std::size_t i = 0; i < 160; ++i) {
+    const bool west = (i / 3) % 2 == 0;
+    const auto offset = static_cast<arvy::graph::NodeId>(rng.next_below(3));
+    demand.push_back(west ? static_cast<arvy::graph::NodeId>(kSites - 1 -
+                                                             offset)
+                          : offset);
+  }
+
+  std::printf("mobile server on a %zu-site ring, %zu relocation requests\n\n",
+              kSites, demand.size());
+  std::printf("%-8s  %12s  %12s  %8s\n", "policy", "find traffic",
+              "total traffic", "vs OPT");
+  for (auto kind : {arvy::proto::PolicyKind::kBridge,
+                    arvy::proto::PolicyKind::kArrow,
+                    arvy::proto::PolicyKind::kIvy}) {
+    const auto init =
+        kind == arvy::proto::PolicyKind::kBridge
+            ? arvy::proto::ring_bridge_config(kSites)
+            : arvy::proto::from_tree(arvy::graph::ring_path_tree(
+                  ring, static_cast<arvy::graph::NodeId>(kSites / 2 - 1)));
+    auto policy = arvy::proto::make_policy(kind);
+    const auto report =
+        arvy::analysis::measure_sequential(ring, init, *policy, demand);
+    std::printf("%-8s  %12.0f  %12.0f  %7.2fx\n", report.policy.c_str(),
+                report.find_cost, report.find_cost + report.token_cost,
+                report.ratio_find_only);
+  }
+  std::printf(
+      "\nThe bridge policy keeps two semicircular pointer arcs joined by one\n"
+      "long-range bridge pointer, so cross-ring jumps cost O(distance)\n"
+      "instead of O(n) - Theorem 6's constant competitive ratio in action.\n");
+  return 0;
+}

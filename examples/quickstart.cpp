@@ -1,0 +1,47 @@
+// Quickstart: coordinate access to one shared object over a small network.
+//
+//   $ ./quickstart
+//
+// Builds an 8-node ring, runs Arvy with the Algorithm 2 bridge policy, and
+// walks the token through a handful of requests, printing what the
+// directory does at each step.
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "proto/directory.hpp"
+
+int main() {
+  using arvy::graph::NodeId;
+
+  // 1. The network: any connected weighted graph works. Routing is the
+  //    library's concern; you only pick the topology.
+  const auto network = arvy::graph::make_ring(8);
+
+  // 2. The directory: one shared object, tracked by the Arvy protocol.
+  //    PolicyKind selects the NewParent rule - kArrow, kIvy, kBridge, ...
+  arvy::Directory directory(network,
+                            {.policy = arvy::proto::PolicyKind::kBridge});
+  std::printf("object initially at node %u\n", *directory.holder());
+
+  // 3. Nodes acquire the object. acquire_and_wait drives the simulated
+  //    network until the object arrives.
+  for (NodeId requester : {6u, 1u, 5u, 2u}) {
+    const double before = directory.costs().total_distance();
+    directory.acquire_and_wait(requester);
+    std::printf("node %u acquired the object   (message distance: %.0f)\n",
+                *directory.holder(),
+                directory.costs().total_distance() - before);
+  }
+
+  // 4. Costs are accounted per message kind, distance-weighted - the
+  //    paper's cost model.
+  const auto& costs = directory.costs();
+  std::printf(
+      "\ntotals: find traffic %.0f over %llu messages, token traffic %.0f "
+      "over %llu transfers\n",
+      costs.find_distance,
+      static_cast<unsigned long long>(costs.find_messages),
+      costs.token_distance,
+      static_cast<unsigned long long>(costs.token_messages));
+  return 0;
+}

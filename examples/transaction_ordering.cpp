@@ -1,0 +1,81 @@
+// Transaction ordering service: the paper's "blockchain" application (§1) -
+// "a service that globally orders transactions that are concurrently issued
+// by arbitrary nodes".
+//
+//   $ ./transaction_ordering
+//
+// Nodes on a random overlay issue transactions concurrently; holding the
+// Arvy token is the right to append to the ledger. The global order is the
+// token's satisfaction order; the example prints the resulting ledger and
+// verifies it is a legal total order (every transaction appended exactly
+// once).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "support/rng.hpp"
+#include "verify/liveness.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using arvy::graph::NodeId;
+  arvy::support::Rng rng(42);
+
+  // A 24-validator overlay: random connected graph with some redundancy.
+  const auto overlay = arvy::graph::make_connected_gnp(24, 0.15, rng);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kIvy);
+  arvy::proto::SimEngine::Options options;
+  options.seed = 42;
+  options.delay = arvy::sim::make_uniform_delay(0.5, 3.0);  // WAN jitter
+  arvy::proto::SimEngine engine(
+      overlay,
+      arvy::proto::from_tree(arvy::graph::bfs_tree(overlay, 0)), *policy,
+      std::move(options));
+
+  // Three waves of concurrent transactions from distinct validators.
+  std::vector<arvy::proto::SimEngine::TimedRequest> arrivals;
+  double t = 0.0;
+  for (int wave = 0; wave < 3; ++wave) {
+    auto batch = arvy::workload::poisson_arrivals(24, 8, 1.5, rng);
+    for (auto& request : batch) {
+      arrivals.push_back({request.node, request.at + t});
+    }
+    t = arrivals.back().at + 10.0;
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const auto& a, const auto& b) { return a.at < b.at; });
+  engine.run_concurrent(arrivals);
+
+  const auto audit = arvy::verify::audit_liveness(engine);
+  std::printf("transaction ordering over a 24-validator overlay\n");
+  std::printf("liveness audit: %s\n\n",
+              audit.ok ? "every transaction ordered exactly once"
+                       : audit.detail.c_str());
+
+  // The ledger: transactions in token (satisfaction) order.
+  std::vector<const arvy::proto::RequestRecord*> ledger;
+  for (const auto& record : engine.requests()) ledger.push_back(&record);
+  std::sort(ledger.begin(), ledger.end(), [](const auto* a, const auto* b) {
+    return a->satisfaction_index < b->satisfaction_index;
+  });
+  std::printf("seq  validator  submitted  committed\n");
+  std::printf("-------------------------------------\n");
+  for (const auto* record : ledger) {
+    std::printf("%3llu  v%-8u  %9.2f  %9.2f\n",
+                static_cast<unsigned long long>(record->satisfaction_index),
+                record->node, record->submitted, *record->satisfied_at);
+  }
+  std::printf(
+      "\ntoken traffic: %.0f distance over %llu transfers; find traffic "
+      "%.0f\n"
+      "The token's travel order IS the ledger: no fork is possible because\n"
+      "Lemma 2 keeps the directory a single directionless tree at all "
+      "times.\n",
+      engine.costs().token_distance,
+      static_cast<unsigned long long>(engine.costs().token_messages),
+      engine.costs().find_distance);
+  return 0;
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Reproduces every experiment table in EXPERIMENTS.md from a clean tree.
+#   scripts/reproduce.sh          # CI-speed sweeps (~2 min)
+#   scripts/reproduce.sh --large  # paper-scale sweeps
+set -eu
+SWEEP="${1:-}"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee test_output.txt
+for b in build/bench/*; do "$b" ${SWEEP:+"$SWEEP"}; done | tee bench_output.txt

@@ -1,0 +1,33 @@
+#include "analysis/competitive.hpp"
+
+#include "analysis/opt.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::analysis {
+
+RatioReport measure_sequential(const graph::Graph& g,
+                               const proto::InitialConfig& init,
+                               const proto::NewParentPolicy& policy,
+                               std::span<const graph::NodeId> sequence,
+                               std::uint64_t seed) {
+  proto::SimEngine::Options options;
+  options.seed = seed;
+  proto::SimEngine engine(g, init, policy, std::move(options));
+  engine.run_sequential(sequence);
+  ARVY_ASSERT(engine.unsatisfied_count() == 0);
+
+  RatioReport report;
+  report.policy = std::string(policy.name());
+  report.node_count = g.node_count();
+  report.request_count = sequence.size();
+  report.find_cost = engine.costs().find_distance;
+  report.token_cost = engine.costs().token_distance;
+  report.opt = opt_sequential(engine.oracle(), init.root, sequence);
+  if (report.opt > 0.0) {
+    report.ratio_find_only = report.find_cost / report.opt;
+    report.ratio_total = (report.find_cost + report.token_cost) / report.opt;
+  }
+  return report;
+}
+
+}  // namespace arvy::analysis

@@ -1,0 +1,33 @@
+// The competitive-ratio harness: run a protocol on a sequential workload and
+// compare against the offline optimum (§6's performance measure).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "proto/directory.hpp"
+#include "proto/engine.hpp"
+
+namespace arvy::analysis {
+
+struct RatioReport {
+  std::string policy;
+  std::size_t node_count = 0;
+  std::size_t request_count = 0;
+  double find_cost = 0.0;   // total find-message distance (paper accounting)
+  double token_cost = 0.0;  // total token-message distance
+  double opt = 0.0;         // offline optimum for the same sequence
+  // ARVY(sigma) / OPT(sigma) under both accountings. Zero OPT (all requests
+  // at the initial holder) reports ratio 1.
+  double ratio_find_only = 1.0;
+  double ratio_total = 1.0;
+};
+
+// Runs the policy sequentially over `sequence` starting from `init` and
+// measures both cost accountings against opt_sequential.
+[[nodiscard]] RatioReport measure_sequential(
+    const graph::Graph& g, const proto::InitialConfig& init,
+    const proto::NewParentPolicy& policy, std::span<const graph::NodeId> sequence,
+    std::uint64_t seed = 1);
+
+}  // namespace arvy::analysis

@@ -1,0 +1,31 @@
+#include "analysis/latency.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace arvy::analysis {
+
+LatencyReport measure_latency(const proto::SimEngine& engine) {
+  LatencyReport report;
+  std::vector<double> latencies;
+  std::vector<double> depth;
+  const auto& requests = engine.requests();
+  latencies.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const proto::RequestRecord& r = requests[i];
+    if (!r.satisfied_at.has_value()) {
+      ++report.unsatisfied;
+      continue;
+    }
+    latencies.push_back(*r.satisfied_at - r.submitted);
+    // How far the satisfaction order diverged from submission order: 0 for
+    // perfectly FIFO service.
+    depth.push_back(std::abs(static_cast<double>(r.satisfaction_index) -
+                             static_cast<double>(i + 1)));
+  }
+  report.latency = support::summarize(latencies);
+  report.queue_depth = support::summarize(depth);
+  return report;
+}
+
+}  // namespace arvy::analysis

@@ -1,0 +1,24 @@
+// Request latency analysis for concurrent executions.
+//
+// Under concurrency the interesting quantity besides traffic is how long a
+// request waits for the token (Kuhn-Wattenhofer's dynamic analysis uses a
+// time-aware cost for exactly this reason, §2). This module summarizes
+// submit -> satisfied latencies from an engine's request log.
+#pragma once
+
+#include "proto/engine.hpp"
+#include "support/stats.hpp"
+
+namespace arvy::analysis {
+
+struct LatencyReport {
+  support::Summary latency;       // satisfied_at - submitted, per request
+  support::Summary queue_depth;   // satisfaction_index gap vs submission order
+  std::size_t unsatisfied = 0;
+};
+
+// Requires a quiescent engine (every request satisfied) for a complete
+// picture; unsatisfied requests are counted but excluded from the summary.
+[[nodiscard]] LatencyReport measure_latency(const proto::SimEngine& engine);
+
+}  // namespace arvy::analysis

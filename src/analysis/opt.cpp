@@ -1,0 +1,36 @@
+#include "analysis/opt.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/spanning_tree.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::analysis {
+
+double opt_sequential(const graph::DistanceOracle& oracle, NodeId token_start,
+                      std::span<const NodeId> sequence) {
+  double total = 0.0;
+  NodeId holder = token_start;
+  for (NodeId v : sequence) {
+    total += oracle.distance(holder, v);
+    holder = v;
+  }
+  return total;
+}
+
+double opt_burst_lower_bound(const graph::DistanceOracle& oracle,
+                             NodeId token_start,
+                             std::span<const NodeId> requesters) {
+  std::vector<NodeId> terminals;
+  terminals.reserve(requesters.size() + 1);
+  terminals.push_back(token_start);
+  for (NodeId v : requesters) {
+    if (std::find(terminals.begin(), terminals.end(), v) == terminals.end()) {
+      terminals.push_back(v);
+    }
+  }
+  return metric_mst_weight(terminals, oracle);
+}
+
+}  // namespace arvy::analysis

@@ -1,0 +1,36 @@
+// Offline optimum baselines.
+//
+// For a sequential request sequence the optimal cost is the sum of shortest
+// path distances between consecutive token locations - the bound the paper
+// compares against in §6 ("the cost of the optimal algorithm is at least the
+// sum of the shortest paths between the consecutive requests"). For
+// concurrent bursts no closed form exists; we report the metric-MST lower
+// bound over {token} ∪ requesters and label it as a lower bound.
+#pragma once
+
+#include <span>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace arvy::analysis {
+
+using graph::NodeId;
+
+// Sum of dist(prev, next) over the sequence, starting from token_start.
+// Consecutive duplicates contribute zero, matching the engine's free
+// satisfaction of requests at the holder.
+[[nodiscard]] double opt_sequential(const graph::DistanceOracle& oracle,
+                                    NodeId token_start,
+                                    std::span<const NodeId> sequence);
+
+// Lower bound on any protocol's cost to serve a one-shot burst: the token
+// must visit every requester, and the edges of any such walk (in the metric
+// closure over {token} ∪ requesters) form a connected spanning subgraph, so
+// the walk's length is at least the weight of a minimum spanning tree of
+// that closure.
+[[nodiscard]] double opt_burst_lower_bound(const graph::DistanceOracle& oracle,
+                                           NodeId token_start,
+                                           std::span<const NodeId> requesters);
+
+}  // namespace arvy::analysis

@@ -1,0 +1,107 @@
+#include "analysis/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace arvy::analysis {
+
+namespace {
+
+std::vector<NodeId> distinct_terminals(NodeId start,
+                                       std::span<const NodeId> terminals) {
+  std::vector<NodeId> out;
+  for (NodeId v : terminals) {
+    if (v != start &&
+        std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+BatchOptResult exact_batch_opt(const graph::DistanceOracle& oracle,
+                               NodeId start,
+                               std::span<const NodeId> terminals) {
+  const std::vector<NodeId> nodes = distinct_terminals(start, terminals);
+  const std::size_t k = nodes.size();
+  BatchOptResult result;
+  if (k == 0) return result;
+  ARVY_EXPECTS_MSG(k <= 20, "Held-Karp is exponential; too many terminals");
+
+  const std::size_t full = std::size_t{1} << k;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[mask][j]: cheapest walk from start visiting exactly `mask`, ending
+  // at nodes[j] (j must be in mask).
+  std::vector<std::vector<double>> best(full, std::vector<double>(k, kInf));
+  std::vector<std::vector<std::uint8_t>> parent(
+      full, std::vector<std::uint8_t>(k, 0xff));
+  for (std::size_t j = 0; j < k; ++j) {
+    best[std::size_t{1} << j][j] = oracle.distance(start, nodes[j]);
+  }
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!(mask & (std::size_t{1} << j))) continue;
+      const double base = best[mask][j];
+      if (base == kInf) continue;
+      for (std::size_t next = 0; next < k; ++next) {
+        if (mask & (std::size_t{1} << next)) continue;
+        const std::size_t extended = mask | (std::size_t{1} << next);
+        const double candidate =
+            base + oracle.distance(nodes[j], nodes[next]);
+        if (candidate < best[extended][next]) {
+          best[extended][next] = candidate;
+          parent[extended][next] = static_cast<std::uint8_t>(j);
+        }
+      }
+    }
+  }
+  std::size_t end = 0;
+  for (std::size_t j = 1; j < k; ++j) {
+    if (best[full - 1][j] < best[full - 1][end]) end = j;
+  }
+  result.cost = best[full - 1][end];
+  // Reconstruct the service order.
+  std::vector<NodeId> reversed;
+  std::size_t mask = full - 1;
+  std::size_t j = end;
+  while (true) {
+    reversed.push_back(nodes[j]);
+    const std::uint8_t p = parent[mask][j];
+    mask &= ~(std::size_t{1} << j);
+    if (p == 0xff) break;
+    j = p;
+  }
+  ARVY_ASSERT(mask == 0);
+  result.order.assign(reversed.rbegin(), reversed.rend());
+  return result;
+}
+
+BatchOptResult greedy_batch_cost(const graph::DistanceOracle& oracle,
+                                 NodeId start,
+                                 std::span<const NodeId> terminals) {
+  std::vector<NodeId> remaining = distinct_terminals(start, terminals);
+  BatchOptResult result;
+  NodeId current = start;
+  while (!remaining.empty()) {
+    std::size_t pick = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      const double d = oracle.distance(current, remaining[i]);
+      if (d < best) {
+        best = d;
+        pick = i;
+      }
+    }
+    result.cost += best;
+    current = remaining[pick];
+    result.order.push_back(current);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return result;
+}
+
+}  // namespace arvy::analysis

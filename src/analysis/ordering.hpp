@@ -1,0 +1,45 @@
+// Offline optima for *batch* (concurrent) request sets.
+//
+// For a one-shot burst the offline adversary chooses the service order: its
+// cost is the shortest open walk from the token through all requesters -
+// a path-TSP. This module provides:
+//   * exact_batch_opt: Held-Karp dynamic program, exact for <= ~16 terminals
+//     (O(2^k * k^2) time, O(2^k * k) space);
+//   * greedy_batch_cost: nearest-neighbour heuristic, any size;
+// plus the MST lower bound from analysis/opt.hpp. Together these bracket a
+// concurrent execution's true competitive ratio, which the E13 bench
+// reports instead of a bare lower bound when the burst is small enough.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace arvy::analysis {
+
+using graph::NodeId;
+
+struct BatchOptResult {
+  double cost = 0.0;
+  // Service order attaining the cost (excludes the start).
+  std::vector<NodeId> order;
+};
+
+// Exact minimum-cost open walk start -> all terminals (Held-Karp).
+// Duplicates in `terminals` are served by one visit. Precondition:
+// <= 20 distinct terminals (2^20 states ~ 20 MB; callers should stay
+// well below).
+[[nodiscard]] BatchOptResult exact_batch_opt(
+    const graph::DistanceOracle& oracle, NodeId start,
+    std::span<const NodeId> terminals);
+
+// Nearest-neighbour heuristic for larger bursts (classic log-factor
+// approximation of path TSP; cheap and good enough as an upper-bound
+// reference).
+[[nodiscard]] BatchOptResult greedy_batch_cost(
+    const graph::DistanceOracle& oracle, NodeId start,
+    std::span<const NodeId> terminals);
+
+}  // namespace arvy::analysis

@@ -1,0 +1,19 @@
+#include "analysis/space.hpp"
+
+namespace arvy::analysis {
+
+SpaceReport measure_space(const proto::SimEngine& engine) {
+  SpaceReport report;
+  const proto::NewParentPolicy& policy = engine.policy();
+  report.policy = std::string(policy.name());
+  report.policy_node_words = policy.node_state_words();
+  report.needs_full_path =
+      policy.message_needs() == proto::NewParentPolicy::MessageNeeds::kFullPath;
+  if (report.needs_full_path) {
+    report.message_words_peak =
+        report.message_words_constant + engine.costs().max_visited_length;
+  }
+  return report;
+}
+
+}  // namespace arvy::analysis

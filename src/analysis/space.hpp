@@ -1,0 +1,37 @@
+// Space accounting (experiment E12).
+//
+// The paper's headline on rings is "constant competitive ratio using
+// constant space per node". This module makes the claim measurable: it
+// reports the per-node protocol state in machine words and the peak find
+// message size a policy actually requires.
+#pragma once
+
+#include <string>
+
+#include "proto/engine.hpp"
+
+namespace arvy::analysis {
+
+struct SpaceReport {
+  std::string policy;
+  // Algorithm 1 state: p(v) + n(v) + token bit + outstanding bit.
+  std::size_t base_node_words = 4;
+  // Extra per-node words the policy keeps (e.g. the bridge flag).
+  std::size_t policy_node_words = 0;
+  // Words per find message the policy needs: constant-field policies carry
+  // (producer, sender, request, flag); full-path policies additionally
+  // carry up to `max_visited` node ids.
+  std::size_t message_words_constant = 4;
+  std::size_t message_words_peak = 4;
+  bool needs_full_path = false;
+
+  [[nodiscard]] std::size_t total_node_words() const noexcept {
+    return base_node_words + policy_node_words;
+  }
+};
+
+// Derives the report from a finished engine run (uses the policy's declared
+// needs plus the measured peak visited length).
+[[nodiscard]] SpaceReport measure_space(const proto::SimEngine& engine);
+
+}  // namespace arvy::analysis

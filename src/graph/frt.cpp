@@ -1,0 +1,154 @@
+#include "graph/frt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/shortest_paths.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+namespace {
+
+// First node in permutation order within `radius` of u; u itself always
+// qualifies (distance 0), so the result is well defined.
+NodeId first_center_within(const DistanceMatrix& dm,
+                           const std::vector<NodeId>& permutation, NodeId u,
+                           Weight radius) {
+  for (NodeId c : permutation) {
+    if (dm.at(u, c) <= radius) return c;
+  }
+  ARVY_UNREACHABLE("node is within distance 0 of itself");
+}
+
+}  // namespace
+
+FrtResult sample_frt_tree(const Graph& g, support::Rng& rng) {
+  const std::size_t n = g.node_count();
+  ARVY_EXPECTS(n >= 1);
+  const DistanceMatrix dm(g);
+
+  FrtResult result;
+  result.tree.parent.assign(n, kInvalidNode);
+  result.tree.parent_edge_weight.assign(n, 0.0);
+  if (n == 1) {
+    result.tree.root = 0;
+    result.tree.parent[0] = 0;
+    result.levels = 1;
+    return result;
+  }
+
+  Weight min_dist = std::numeric_limits<Weight>::infinity();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      min_dist = std::min(min_dist, dm.at(a, b));
+    }
+  }
+  const Weight diameter = dm.diameter();
+  ARVY_ASSERT(min_dist > 0.0 && diameter >= min_dist);
+
+  // pi: random vertex permutation; beta in [1, 2) scales every radius.
+  std::vector<NodeId> permutation(n);
+  std::iota(permutation.begin(), permutation.end(), NodeId{0});
+  rng.shuffle(std::span<NodeId>(permutation));
+  const double beta = rng.next_double(1.0, 2.0);
+  result.beta = beta;
+
+  // Top level: radius covers the whole graph from any node.
+  int top = 0;
+  while (beta * std::ldexp(1.0, top) < diameter) ++top;
+  ARVY_ASSERT(top < 64);
+
+  // Permutation rank, used to pick cluster representatives (pi-first member).
+  std::vector<std::uint32_t> rank(n);
+  for (std::uint32_t i = 0; i < n; ++i) rank[permutation[i]] = i;
+  auto pi_min_member = [&](const std::vector<NodeId>& members) {
+    return *std::min_element(members.begin(), members.end(),
+                             [&](NodeId a, NodeId b) { return rank[a] < rank[b]; });
+  };
+
+  std::vector<NodeId> all(n);
+  std::iota(all.begin(), all.end(), NodeId{0});
+  struct Cluster {
+    std::vector<NodeId> members;
+    NodeId rep;
+  };
+  std::vector<Cluster> clusters;
+  clusters.push_back({std::move(all), pi_min_member(permutation)});
+  result.tree.root = clusters.front().rep;
+  result.tree.parent[result.tree.root] = result.tree.root;
+  result.levels = 1;
+
+  // Split level by level until every cluster is a singleton. A cluster at
+  // level i is refined by grouping members on their pi-first center within
+  // radius beta * 2^(i-1); the HST edge from the level-i cluster to each
+  // child weighs beta * 2^i.
+  for (int i = top; ; --i) {
+    const Weight child_radius = beta * std::ldexp(1.0, i - 1);
+    const Weight edge_weight = beta * std::ldexp(1.0, i);
+    bool any_split_possible = false;
+    std::vector<Cluster> next;
+    for (Cluster& cluster : clusters) {
+      if (cluster.members.size() == 1) {
+        next.push_back(std::move(cluster));
+        continue;
+      }
+      any_split_possible = true;
+      // Group members by their first center; keep deterministic order by
+      // scanning members and collecting per-center buckets.
+      std::vector<std::pair<NodeId, std::vector<NodeId>>> buckets;
+      for (NodeId u : cluster.members) {
+        const NodeId c = first_center_within(dm, permutation, u, child_radius);
+        auto it = std::find_if(buckets.begin(), buckets.end(),
+                               [c](const auto& b) { return b.first == c; });
+        if (it == buckets.end()) {
+          buckets.push_back({c, {u}});
+        } else {
+          it->second.push_back(u);
+        }
+      }
+      for (auto& [center, members] : buckets) {
+        Cluster child{std::move(members), kInvalidNode};
+        child.rep = pi_min_member(child.members);
+        if (child.rep != cluster.rep &&
+            result.tree.parent[child.rep] == kInvalidNode) {
+          result.tree.parent[child.rep] = cluster.rep;
+          result.tree.parent_edge_weight[child.rep] = edge_weight;
+        }
+        next.push_back(std::move(child));
+      }
+    }
+    clusters = std::move(next);
+    ++result.levels;
+    if (!any_split_possible) break;
+    ARVY_ASSERT_MSG(result.levels < 128, "FRT recursion failed to terminate");
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    ARVY_ASSERT_MSG(result.tree.parent[v] != kInvalidNode,
+                    "FRT collapse left an orphan node");
+  }
+  ARVY_ENSURES(result.tree.is_valid());
+  return result;
+}
+
+double average_stretch(const Graph& g, const RootedTree& tree) {
+  const DistanceMatrix dm(g);
+  const std::size_t n = g.node_count();
+  ARVY_EXPECTS(n >= 2);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = a + 1; b < n; ++b) {
+      const Weight dg = dm.at(a, b);
+      ARVY_ASSERT(dg > 0.0);
+      total += tree.tree_distance(a, b) / dg;
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,34 @@
+// FRT-style random hierarchical tree embeddings.
+//
+// Ghodselahi and Kuhn (DISC '17) show that Arrow on a random tree drawn from
+// an FRT embedding [Fakcharoenphol-Rao-Talwar, STOC '03] is O(log n)
+// competitive on general graphs; the Arvy paper cites this as the best known
+// fixed-tree strategy and contrasts it with Arvy's adaptive trees (§2). We
+// implement the classic FRT decomposition and collapse the resulting HST
+// onto the real vertex set (each internal cluster is represented by its
+// pi-first member) so Arrow can run on it directly. The collapse preserves
+// the O(log n) expected stretch guarantee up to constants, which is all the
+// E9 experiment needs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::graph {
+
+struct FrtResult {
+  RootedTree tree;      // over the graph's own nodes; edge weights are HST radii
+  double beta = 0.0;    // the sampled radius scale in [1, 2)
+  std::size_t levels = 0;
+};
+
+// Samples one FRT tree: random permutation + random beta, hierarchical ball
+// partition with radii beta * 2^i, HST collapsed onto representative nodes.
+[[nodiscard]] FrtResult sample_frt_tree(const Graph& g, support::Rng& rng);
+
+// Average stretch of the embedding over all node pairs (diagnostic used by
+// tests and the E9 bench).
+[[nodiscard]] double average_stretch(const Graph& g, const RootedTree& tree);
+
+}  // namespace arvy::graph

@@ -1,0 +1,216 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+Graph make_ring(std::size_t n) {
+  ARVY_EXPECTS(n >= 3);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<NodeId>((i + 1) % n));
+  }
+  return g;
+}
+
+Graph make_weighted_ring(std::size_t n, support::Rng& rng, Weight min_weight,
+                         Weight max_weight) {
+  ARVY_EXPECTS(n >= 3);
+  ARVY_EXPECTS(0.0 < min_weight && min_weight <= max_weight);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    g.add_edge(i, static_cast<NodeId>((i + 1) % n),
+               rng.next_double(min_weight, max_weight));
+  }
+  return g;
+}
+
+Graph make_path(std::size_t n) {
+  ARVY_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+Graph make_star(std::size_t n) {
+  ARVY_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    g.add_edge(0, i);
+  }
+  return g;
+}
+
+Graph make_complete(std::size_t n) {
+  ARVY_EXPECTS(n >= 2);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph make_grid(std::size_t rows, std::size_t cols) {
+  ARVY_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(std::size_t rows, std::size_t cols) {
+  ARVY_EXPECTS(rows >= 3 && cols >= 3);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(std::size_t dimension) {
+  ARVY_EXPECTS(dimension >= 1 && dimension <= 20);
+  const std::size_t n = std::size_t{1} << dimension;
+  Graph g(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t bit = 0; bit < dimension; ++bit) {
+      const std::size_t u = v ^ (std::size_t{1} << bit);
+      if (v < u) g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(u));
+    }
+  }
+  return g;
+}
+
+Graph make_random_tree(std::size_t n, support::Rng& rng) {
+  ARVY_EXPECTS(n >= 1);
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Decode a uniformly random Prüfer sequence of length n-2.
+  std::vector<std::size_t> prufer(n - 2);
+  for (auto& x : prufer) x = rng.next_below(n);
+  std::vector<std::size_t> degree(n, 1);
+  for (std::size_t x : prufer) ++degree[x];
+  std::size_t ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (std::size_t x : prufer) {
+    g.add_edge(static_cast<NodeId>(leaf), static_cast<NodeId>(x));
+    if (--degree[x] == 1 && x < ptr) {
+      leaf = x;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  g.add_edge(static_cast<NodeId>(leaf), static_cast<NodeId>(n - 1));
+  return g;
+}
+
+Graph make_balanced_tree(std::size_t branching, std::size_t depth) {
+  ARVY_EXPECTS(branching >= 1);
+  // Count nodes: 1 + b + b^2 + ... + b^depth.
+  std::size_t n = 1;
+  std::size_t level = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    level *= branching;
+    n += level;
+    ARVY_EXPECTS_MSG(n < (std::size_t{1} << 24), "balanced tree too large");
+  }
+  Graph g(n);
+  // Children of node v are branching*v + 1 ... branching*v + branching.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t c = 1; c <= branching; ++c) {
+      const std::size_t child = branching * v + c;
+      if (child < n) g.add_edge(static_cast<NodeId>(v), static_cast<NodeId>(child));
+    }
+  }
+  return g;
+}
+
+Graph make_connected_gnp(std::size_t n, double p, support::Rng& rng) {
+  ARVY_EXPECTS(n >= 2);
+  ARVY_EXPECTS(p >= 0.0 && p <= 1.0);
+  // Random spanning tree backbone: attach node i to a random earlier node.
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i) {
+    g.add_edge(i, static_cast<NodeId>(rng.next_below(i)));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (!g.has_edge(i, j) && rng.next_bool(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph make_random_geometric(std::size_t n, double radius, support::Rng& rng) {
+  ARVY_EXPECTS(n >= 2);
+  ARVY_EXPECTS(radius > 0.0);
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = rng.next_double();
+    ys[i] = rng.next_double();
+  }
+  auto dist = [&](std::size_t i, std::size_t j) {
+    const double dx = xs[i] - xs[j];
+    const double dy = ys[i] - ys[j];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      const double d = dist(i, j);
+      if (d <= radius && d > 0.0) g.add_edge(i, j, d);
+    }
+  }
+  // Force connectivity with a Euclidean spanning chain over any remaining
+  // components (greedy nearest-component joins, Prim-style).
+  DisjointSets dsu(n);
+  for (const EdgeRef& e : g.edges()) dsu.unite(e.a, e.b);
+  while (dsu.set_count() > 1) {
+    double best = 1e300;
+    NodeId ba = kInvalidNode;
+    NodeId bb = kInvalidNode;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (dsu.same(i, j)) continue;
+        const double d = dist(i, j);
+        if (d < best && d > 0.0) {
+          best = d;
+          ba = i;
+          bb = j;
+        }
+      }
+    }
+    ARVY_ASSERT(ba != kInvalidNode);
+    g.add_edge(ba, bb, best);
+    dsu.unite(ba, bb);
+  }
+  return g;
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,55 @@
+// Topology generators for experiments.
+//
+// Every generator that uses randomness takes an explicit Rng so experiment
+// rows are replayable. All generators return connected graphs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::graph {
+
+// Cycle v0 - v1 - ... - v(n-1) - v0, unit weights. n >= 3.
+[[nodiscard]] Graph make_ring(std::size_t n);
+
+// Ring with i.i.d. uniform weights in [min_weight, max_weight].
+[[nodiscard]] Graph make_weighted_ring(std::size_t n, support::Rng& rng,
+                                       Weight min_weight, Weight max_weight);
+
+// Path v0 - v1 - ... - v(n-1), unit weights. n >= 2.
+[[nodiscard]] Graph make_path(std::size_t n);
+
+// Star with center 0, unit weights. n >= 2.
+[[nodiscard]] Graph make_star(std::size_t n);
+
+// Complete graph K_n, unit weights. n >= 2.
+[[nodiscard]] Graph make_complete(std::size_t n);
+
+// rows x cols grid, unit weights.
+[[nodiscard]] Graph make_grid(std::size_t rows, std::size_t cols);
+
+// rows x cols torus (grid with wraparound), unit weights. rows, cols >= 3.
+[[nodiscard]] Graph make_torus(std::size_t rows, std::size_t cols);
+
+// d-dimensional hypercube on 2^d nodes, unit weights. 1 <= d <= 20.
+[[nodiscard]] Graph make_hypercube(std::size_t dimension);
+
+// Uniform random labelled tree (via a random Prüfer sequence), unit weights.
+[[nodiscard]] Graph make_random_tree(std::size_t n, support::Rng& rng);
+
+// Balanced tree with the given branching factor and depth, unit weights.
+// depth 0 is a single root.
+[[nodiscard]] Graph make_balanced_tree(std::size_t branching, std::size_t depth);
+
+// Erdős–Rényi G(n, p) conditioned on connectivity: a random spanning tree is
+// laid down first and each remaining pair is added with probability p.
+[[nodiscard]] Graph make_connected_gnp(std::size_t n, double p,
+                                       support::Rng& rng);
+
+// Random points in the unit square; edges between pairs closer than `radius`
+// with Euclidean weights, plus a Euclidean spanning tree to force
+// connectivity. Models the "metric-space network" setting of [9].
+[[nodiscard]] Graph make_random_geometric(std::size_t n, double radius,
+                                          support::Rng& rng);
+
+}  // namespace arvy::graph

@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+Graph::Graph(std::size_t n) : adjacency_(n) { ARVY_EXPECTS(n > 0); }
+
+void Graph::add_edge(NodeId a, NodeId b, Weight weight) {
+  ARVY_EXPECTS(contains(a) && contains(b));
+  ARVY_EXPECTS_MSG(a != b, "self-loops are not allowed");
+  ARVY_EXPECTS_MSG(weight > 0.0, "edge weights must be positive");
+  ARVY_EXPECTS_MSG(!has_edge(a, b), "duplicate edge");
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++edge_count_;
+  total_weight_ += weight;
+}
+
+std::span<const Edge> Graph::neighbors(NodeId v) const {
+  ARVY_EXPECTS(contains(v));
+  return adjacency_[v];
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  ARVY_EXPECTS(contains(a) && contains(b));
+  const auto& adj = adjacency_[a];
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+Weight Graph::edge_weight(NodeId a, NodeId b) const {
+  ARVY_EXPECTS(contains(a) && contains(b));
+  for (const Edge& e : adjacency_[a]) {
+    if (e.to == b) return e.weight;
+  }
+  ARVY_UNREACHABLE("edge_weight queried for a missing edge");
+}
+
+bool Graph::is_connected() const {
+  DisjointSets dsu(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (const Edge& e : adjacency_[v]) dsu.unite(v, e.to);
+  }
+  return dsu.set_count() == 1;
+}
+
+std::vector<EdgeRef> Graph::edges() const {
+  std::vector<EdgeRef> out;
+  out.reserve(edge_count_);
+  for (NodeId v = 0; v < node_count(); ++v) {
+    for (const Edge& e : adjacency_[v]) {
+      if (v < e.to) out.push_back({v, e.to, e.weight});
+    }
+  }
+  return out;
+}
+
+DisjointSets::DisjointSets(std::size_t n)
+    : parent_(n), size_(n, 1), sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t DisjointSets::find(std::size_t x) noexcept {
+  ARVY_EXPECTS(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSets::unite(std::size_t x, std::size_t y) noexcept {
+  std::size_t rx = find(x);
+  std::size_t ry = find(y);
+  if (rx == ry) return false;
+  if (size_[rx] < size_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  --sets_;
+  return true;
+}
+
+}  // namespace arvy::graph

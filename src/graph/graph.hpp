@@ -1,0 +1,92 @@
+// Weighted undirected graphs.
+//
+// This is the network substrate of the paper's model (§3): a connected
+// network G = (V, E) with positive edge weights; routing between arbitrary
+// pairs is "solved" and follows shortest paths, so the higher layers only
+// ever ask for distances (see DistanceOracle).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace arvy::graph {
+
+// Node identifiers are dense indices in [0, node_count).
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+using Weight = double;
+
+struct Edge {
+  NodeId to = kInvalidNode;
+  Weight weight = 1.0;
+};
+
+// An undirected edge as a value (endpoints normalized so a <= b).
+struct EdgeRef {
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+  Weight weight = 1.0;
+
+  friend bool operator==(const EdgeRef&, const EdgeRef&) = default;
+};
+
+class Graph {
+ public:
+  // Creates a graph with `n` isolated nodes.
+  explicit Graph(std::size_t n);
+
+  // Adds an undirected edge {a, b} with positive weight. Self-loops and
+  // duplicate edges are rejected (duplicates would make "the" edge weight
+  // ambiguous for routing).
+  void add_edge(NodeId a, NodeId b, Weight weight = 1.0);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return adjacency_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edge_count_; }
+
+  [[nodiscard]] std::span<const Edge> neighbors(NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const;
+  // Weight of edge {a, b}; precondition: the edge exists.
+  [[nodiscard]] Weight edge_weight(NodeId a, NodeId b) const;
+
+  // Sum of all edge weights (each undirected edge counted once).
+  [[nodiscard]] Weight total_weight() const noexcept { return total_weight_; }
+
+  [[nodiscard]] bool is_connected() const;
+
+  // All edges, each once, with normalized endpoints. Useful for MST and for
+  // iterating in deterministic order.
+  [[nodiscard]] std::vector<EdgeRef> edges() const;
+
+  [[nodiscard]] bool contains(NodeId v) const noexcept {
+    return v < adjacency_.size();
+  }
+
+ private:
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+  Weight total_weight_ = 0.0;
+};
+
+// Union-find with path halving and union by size; used by tree checks, MST,
+// and the invariant checker's component queries.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n);
+
+  [[nodiscard]] std::size_t find(std::size_t x) noexcept;
+  // Returns false when x and y were already in the same set.
+  bool unite(std::size_t x, std::size_t y) noexcept;
+  [[nodiscard]] bool same(std::size_t x, std::size_t y) noexcept {
+    return find(x) == find(y);
+  }
+  [[nodiscard]] std::size_t set_count() const noexcept { return sets_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t sets_;
+};
+
+}  // namespace arvy::graph

@@ -1,0 +1,97 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  // max_digits10 so weights round-trip bit-exactly through text.
+  const auto old_precision =
+      os.precision(std::numeric_limits<Weight>::max_digits10);
+  os << "# arvy graph, " << g.node_count() << " nodes, " << g.edge_count()
+     << " edges\n";
+  os << "nodes " << g.node_count() << '\n';
+  for (const EdgeRef& e : g.edges()) {
+    os << "edge " << e.a << ' ' << e.b << ' ' << e.weight << '\n';
+  }
+  os.precision(old_precision);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string keyword;
+  std::size_t n = 0;
+  bool have_nodes = false;
+  // First directive must declare the node count.
+  while (is >> keyword) {
+    if (keyword[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    ARVY_EXPECTS_MSG(keyword == "nodes",
+                     "edge list must start with a 'nodes' directive");
+    is >> n;
+    ARVY_EXPECTS_MSG(is.good() || is.eof(), "malformed 'nodes' directive");
+    have_nodes = true;
+    break;
+  }
+  ARVY_EXPECTS_MSG(have_nodes && n > 0, "missing 'nodes' directive");
+  Graph g(n);
+  while (is >> keyword) {
+    if (keyword[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    ARVY_EXPECTS_MSG(keyword == "edge", "unknown directive in edge list");
+    NodeId a = kInvalidNode;
+    NodeId b = kInvalidNode;
+    Weight w = 1.0;
+    is >> a >> b >> w;
+    ARVY_EXPECTS_MSG(!is.fail(), "malformed 'edge' directive");
+    g.add_edge(a, b, w);
+  }
+  return g;
+}
+
+std::string to_edge_list_string(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(g, os);
+  return os.str();
+}
+
+Graph from_edge_list_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+std::string to_dot(const Graph& g, const RootedTree* tree) {
+  std::ostringstream os;
+  os << "graph network {\n  layout=circo;\n";
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  n" << v;
+    if (tree != nullptr && tree->root == v) {
+      os << " [shape=doublecircle]";
+    }
+    os << ";\n";
+  }
+  for (const EdgeRef& e : g.edges()) {
+    const bool on_tree =
+        tree != nullptr &&
+        ((tree->parent[e.a] == e.b) || (tree->parent[e.b] == e.a));
+    os << "  n" << e.a << " -- n" << e.b;
+    os << " [label=\"" << e.weight << '"';
+    if (on_tree) os << ", penwidth=2, color=black";
+    else if (tree != nullptr) os << ", color=gray";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,34 @@
+// Graph serialization: a plain edge-list text format and Graphviz export.
+//
+// Edge-list format (whitespace separated, '#' comments):
+//   nodes <n>
+//   edge <a> <b> <weight>
+// Deterministic output (edges in normalized order) so files diff cleanly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace arvy::graph {
+
+// Writes the edge-list representation.
+void write_edge_list(const Graph& g, std::ostream& os);
+
+// Parses an edge list written by write_edge_list (or by hand). Aborts with
+// a contract failure on malformed input - experiment inputs are trusted;
+// returns the parsed graph otherwise.
+[[nodiscard]] Graph read_edge_list(std::istream& is);
+
+// Round-trips through strings for convenience in tests and tools.
+[[nodiscard]] std::string to_edge_list_string(const Graph& g);
+[[nodiscard]] Graph from_edge_list_string(const std::string& text);
+
+// Graphviz export of the topology; `tree`, when given, highlights its
+// parent edges (the directory's current tree over the network).
+[[nodiscard]] std::string to_dot(const Graph& g,
+                                 const RootedTree* tree = nullptr);
+
+}  // namespace arvy::graph

@@ -1,0 +1,95 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+namespace {
+constexpr Weight kInf = std::numeric_limits<Weight>::infinity();
+}  // namespace
+
+std::vector<NodeId> ShortestPathTree::path_to(NodeId target) const {
+  ARVY_EXPECTS(target < distance.size());
+  ARVY_EXPECTS_MSG(distance[target] != kInf, "target unreachable");
+  std::vector<NodeId> path;
+  for (NodeId v = target; v != source; v = parent[v]) {
+    path.push_back(v);
+    ARVY_ASSERT_MSG(path.size() <= distance.size(), "cycle in parent chain");
+  }
+  path.push_back(source);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, NodeId source) {
+  ARVY_EXPECTS(g.contains(source));
+  const std::size_t n = g.node_count();
+  ShortestPathTree out;
+  out.source = source;
+  out.distance.assign(n, kInf);
+  out.parent.assign(n, kInvalidNode);
+  out.distance[source] = 0.0;
+  out.parent[source] = source;
+
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > out.distance[v]) continue;  // stale entry
+    for (const Edge& e : g.neighbors(v)) {
+      const Weight nd = d + e.weight;
+      if (nd < out.distance[e.to]) {
+        out.distance[e.to] = nd;
+        out.parent[e.to] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source) {
+  ARVY_EXPECTS(g.contains(source));
+  constexpr auto kUnseen = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> hops(g.node_count(), kUnseen);
+  std::queue<NodeId> frontier;
+  hops[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbors(v)) {
+      if (hops[e.to] == kUnseen) {
+        hops[e.to] = hops[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return hops;
+}
+
+DistanceMatrix::DistanceMatrix(const Graph& g) : n_(g.node_count()) {
+  data_.resize(n_ * n_);
+  for (NodeId src = 0; src < n_; ++src) {
+    const ShortestPathTree tree = dijkstra(g, src);
+    std::copy(tree.distance.begin(), tree.distance.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(src * n_));
+  }
+}
+
+Weight DistanceMatrix::diameter() const {
+  Weight best = 0.0;
+  for (Weight d : data_) {
+    ARVY_ASSERT_MSG(d != kInf, "diameter of a disconnected graph");
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,44 @@
+// Single-source and all-pairs shortest paths.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arvy::graph {
+
+// Result of a single-source run: distance and predecessor per node.
+struct ShortestPathTree {
+  NodeId source = kInvalidNode;
+  std::vector<Weight> distance;   // distance[v] from source
+  std::vector<NodeId> parent;     // parent[v] on a shortest path; source's is itself
+
+  // Reconstructs the node sequence source -> ... -> target.
+  [[nodiscard]] std::vector<NodeId> path_to(NodeId target) const;
+};
+
+// Dijkstra with a binary heap; weights must be positive (enforced by Graph).
+[[nodiscard]] ShortestPathTree dijkstra(const Graph& g, NodeId source);
+
+// Unweighted BFS hop counts (ignores weights).
+[[nodiscard]] std::vector<std::uint32_t> bfs_hops(const Graph& g, NodeId source);
+
+// Dense all-pairs matrix; O(n * m log n) time, O(n^2) space.
+class DistanceMatrix {
+ public:
+  explicit DistanceMatrix(const Graph& g);
+
+  [[nodiscard]] Weight at(NodeId a, NodeId b) const {
+    return data_[static_cast<std::size_t>(a) * n_ + b];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  // Weighted diameter: max over pairs of shortest-path distance.
+  [[nodiscard]] Weight diameter() const;
+
+ private:
+  std::size_t n_;
+  std::vector<Weight> data_;
+};
+
+}  // namespace arvy::graph

@@ -1,0 +1,232 @@
+#include "graph/spanning_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/shortest_paths.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+Weight RootedTree::tree_distance(NodeId a, NodeId b) const {
+  ARVY_EXPECTS(a < parent.size() && b < parent.size());
+  // Walk both nodes to the root recording prefix distances, then splice at
+  // the lowest common ancestor.
+  std::vector<std::pair<NodeId, Weight>> trail_a;
+  Weight da = 0.0;
+  for (NodeId v = a;; v = parent[v]) {
+    trail_a.push_back({v, da});
+    if (parent[v] == v) break;
+    da += parent_edge_weight[v];
+  }
+  Weight db = 0.0;
+  for (NodeId v = b;; v = parent[v]) {
+    for (const auto& [node, prefix] : trail_a) {
+      if (node == v) return prefix + db;
+    }
+    ARVY_ASSERT_MSG(parent[v] != v, "nodes in different trees");
+    db += parent_edge_weight[v];
+  }
+}
+
+std::vector<std::uint32_t> RootedTree::depths() const {
+  std::vector<std::uint32_t> depth(parent.size(),
+                                   std::numeric_limits<std::uint32_t>::max());
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    // Walk up until a node with known depth, then unwind.
+    std::vector<NodeId> chain;
+    NodeId u = v;
+    while (depth[u] == std::numeric_limits<std::uint32_t>::max() &&
+           parent[u] != u) {
+      chain.push_back(u);
+      u = parent[u];
+    }
+    std::uint32_t d = parent[u] == u ? 0 : depth[u];
+    if (parent[u] == u) depth[u] = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[*it] = ++d;
+    }
+  }
+  return depth;
+}
+
+Weight RootedTree::weighted_depth(NodeId v) const {
+  ARVY_EXPECTS(v < parent.size());
+  Weight d = 0.0;
+  std::size_t guard = 0;
+  while (parent[v] != v) {
+    d += parent_edge_weight[v];
+    v = parent[v];
+    ARVY_ASSERT_MSG(++guard <= parent.size(), "cycle in tree");
+  }
+  return d;
+}
+
+bool RootedTree::is_valid() const {
+  if (root >= parent.size() || parent[root] != root) return false;
+  if (parent_edge_weight.size() != parent.size()) return false;
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    NodeId u = v;
+    std::size_t steps = 0;
+    while (parent[u] != u) {
+      u = parent[u];
+      if (++steps > parent.size()) return false;  // cycle
+    }
+    if (u != root) return false;  // disconnected
+  }
+  return true;
+}
+
+Graph RootedTree::as_graph() const {
+  Graph g(parent.size());
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    if (parent[v] != v) {
+      g.add_edge(v, parent[v],
+                 parent_edge_weight[v] > 0.0 ? parent_edge_weight[v] : 1.0);
+    }
+  }
+  return g;
+}
+
+RootedTree bfs_tree(const Graph& g, NodeId root) {
+  ARVY_EXPECTS(g.contains(root));
+  RootedTree t;
+  t.root = root;
+  t.parent.assign(g.node_count(), kInvalidNode);
+  t.parent_edge_weight.assign(g.node_count(), 0.0);
+  t.parent[root] = root;
+  std::queue<NodeId> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : g.neighbors(v)) {
+      if (t.parent[e.to] == kInvalidNode) {
+        t.parent[e.to] = v;
+        t.parent_edge_weight[e.to] = e.weight;
+        frontier.push(e.to);
+      }
+    }
+  }
+  ARVY_ENSURES(t.is_valid());
+  return t;
+}
+
+RootedTree shortest_path_tree(const Graph& g, NodeId root) {
+  const ShortestPathTree sp = dijkstra(g, root);
+  RootedTree t;
+  t.root = root;
+  t.parent = sp.parent;
+  t.parent_edge_weight.assign(g.node_count(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (t.parent[v] != v) {
+      t.parent_edge_weight[v] = g.edge_weight(v, t.parent[v]);
+    }
+  }
+  ARVY_ENSURES(t.is_valid());
+  return t;
+}
+
+RootedTree minimum_spanning_tree(const Graph& g, NodeId root) {
+  ARVY_EXPECTS(g.contains(root));
+  const std::size_t n = g.node_count();
+  RootedTree t;
+  t.root = root;
+  t.parent.assign(n, kInvalidNode);
+  t.parent_edge_weight.assign(n, 0.0);
+  std::vector<Weight> best(n, std::numeric_limits<Weight>::infinity());
+  std::vector<bool> in_tree(n, false);
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  best[root] = 0.0;
+  t.parent[root] = root;
+  heap.push({0.0, root});
+  while (!heap.empty()) {
+    const auto [w, v] = heap.top();
+    heap.pop();
+    if (in_tree[v] || w > best[v]) continue;
+    in_tree[v] = true;
+    for (const Edge& e : g.neighbors(v)) {
+      if (!in_tree[e.to] && e.weight < best[e.to]) {
+        best[e.to] = e.weight;
+        t.parent[e.to] = v;
+        t.parent_edge_weight[e.to] = e.weight;
+        heap.push({e.weight, e.to});
+      }
+    }
+  }
+  ARVY_ENSURES(t.is_valid());
+  return t;
+}
+
+Weight metric_mst_weight(const std::vector<NodeId>& terminals,
+                         const DistanceOracle& oracle) {
+  if (terminals.size() <= 1) return 0.0;
+  const std::size_t k = terminals.size();
+  std::vector<Weight> best(k, std::numeric_limits<Weight>::infinity());
+  std::vector<bool> used(k, false);
+  best[0] = 0.0;
+  Weight total = 0.0;
+  for (std::size_t iter = 0; iter < k; ++iter) {
+    std::size_t pick = k;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!used[i] && (pick == k || best[i] < best[pick])) pick = i;
+    }
+    used[pick] = true;
+    total += best[pick];
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!used[i]) {
+        best[i] = std::min(best[i],
+                           oracle.distance(terminals[pick], terminals[i]));
+      }
+    }
+  }
+  return total;
+}
+
+RootedTree ring_path_tree(const Graph& ring, NodeId root) {
+  const std::size_t n = ring.node_count();
+  ARVY_EXPECTS(ring.contains(root));
+  ARVY_EXPECTS_MSG(ring.has_edge(static_cast<NodeId>(n - 1), 0),
+                   "ring_path_tree expects a canonical ring");
+  // Tree edges are {i, i+1} for i in [0, n-2]; orient towards `root`.
+  RootedTree t;
+  t.root = root;
+  t.parent.assign(n, kInvalidNode);
+  t.parent_edge_weight.assign(n, 0.0);
+  t.parent[root] = root;
+  for (NodeId v = root; v > 0; --v) {
+    t.parent[v - 1] = v;
+    t.parent_edge_weight[v - 1] = ring.edge_weight(v - 1, v);
+  }
+  for (NodeId v = root; v + 1 < n; ++v) {
+    t.parent[v + 1] = v;
+    t.parent_edge_weight[v + 1] = ring.edge_weight(v, v + 1);
+  }
+  ARVY_ENSURES(t.is_valid());
+  return t;
+}
+
+StretchReport max_stretch_pair(const Graph& g, const RootedTree& tree) {
+  DistanceOracle oracle(g);
+  StretchReport report;
+  report.max_stretch = 0.0;  // ensures an attaining pair is always recorded
+  for (NodeId a = 0; a < g.node_count(); ++a) {
+    for (NodeId b = a + 1; b < g.node_count(); ++b) {
+      const Weight dg = oracle.distance(a, b);
+      if (dg <= 0.0) continue;
+      const double stretch = tree.tree_distance(a, b) / dg;
+      if (stretch > report.max_stretch) {
+        report.max_stretch = stretch;
+        report.a = a;
+        report.b = b;
+      }
+    }
+  }
+  ARVY_ENSURES(report.a != kInvalidNode);
+  return report;
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,70 @@
+// Rooted spanning trees: construction and quality measures.
+//
+// Arrow runs on a fixed spanning tree; its competitive ratio is governed by
+// the tree's stretch (§2, §6 of the paper). This module builds the trees the
+// experiments need and measures their stretch.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::graph {
+
+// A rooted tree over the graph's nodes, stored as parent pointers.
+// parent[root] == root. Edge weights are stored per node (weight of the edge
+// to the parent; 0 at the root) so trees whose edges are not graph edges
+// (e.g. FRT embeddings) carry their own metric.
+struct RootedTree {
+  NodeId root = kInvalidNode;
+  std::vector<NodeId> parent;
+  std::vector<Weight> parent_edge_weight;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return parent.size(); }
+
+  // Distance between two nodes measured along the tree.
+  [[nodiscard]] Weight tree_distance(NodeId a, NodeId b) const;
+
+  // Depth (hops to root) per node.
+  [[nodiscard]] std::vector<std::uint32_t> depths() const;
+
+  // Weighted depth of v (sum of edge weights to the root).
+  [[nodiscard]] Weight weighted_depth(NodeId v) const;
+
+  // Validates: exactly one root, no cycles, all nodes reach the root.
+  [[nodiscard]] bool is_valid() const;
+
+  // The tree as an undirected Graph (for reuse of graph algorithms).
+  [[nodiscard]] Graph as_graph() const;
+};
+
+// Breadth-first spanning tree from `root` (unit hop metric but carries the
+// true edge weights).
+[[nodiscard]] RootedTree bfs_tree(const Graph& g, NodeId root);
+
+// Shortest-path tree from `root` (Dijkstra parents).
+[[nodiscard]] RootedTree shortest_path_tree(const Graph& g, NodeId root);
+
+// Minimum spanning tree (Prim), rooted at `root`.
+[[nodiscard]] RootedTree minimum_spanning_tree(const Graph& g, NodeId root);
+
+// Total weight of the minimum spanning tree restricted to the complete
+// metric closure over `terminals` (used as a lower bound for batch OPT).
+[[nodiscard]] Weight metric_mst_weight(const std::vector<NodeId>& terminals,
+                                       const class DistanceOracle& oracle);
+
+// The path spanning tree of a ring: drop the edge {n-1, 0}, root at `root`.
+[[nodiscard]] RootedTree ring_path_tree(const Graph& ring, NodeId root);
+
+// max over node pairs of tree_distance / graph_distance, and an attaining
+// pair. O(n^2) distance queries - intended for experiment-sized graphs.
+struct StretchReport {
+  double max_stretch = 1.0;
+  NodeId a = kInvalidNode;
+  NodeId b = kInvalidNode;
+};
+[[nodiscard]] StretchReport max_stretch_pair(const Graph& g,
+                                             const RootedTree& tree);
+
+}  // namespace arvy::graph

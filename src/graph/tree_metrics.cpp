@@ -1,0 +1,38 @@
+#include "graph/tree_metrics.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_paths.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::graph {
+
+std::vector<Weight> eccentricities(const Graph& g) {
+  std::vector<Weight> ecc(g.node_count(), 0.0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const ShortestPathTree sp = dijkstra(g, v);
+    ecc[v] = *std::max_element(sp.distance.begin(), sp.distance.end());
+  }
+  return ecc;
+}
+
+MetricSummary metric_summary(const Graph& g) {
+  ARVY_EXPECTS(g.is_connected());
+  const std::vector<Weight> ecc = eccentricities(g);
+  MetricSummary s;
+  s.radius = ecc.front();
+  s.center = 0;
+  for (NodeId v = 0; v < ecc.size(); ++v) {
+    if (ecc[v] > s.diameter) {
+      s.diameter = ecc[v];
+      s.periphery = v;
+    }
+    if (ecc[v] < s.radius) {
+      s.radius = ecc[v];
+      s.center = v;
+    }
+  }
+  return s;
+}
+
+}  // namespace arvy::graph

@@ -1,0 +1,22 @@
+// Global metric properties of graphs (diameter, radius, eccentricity).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arvy::graph {
+
+// Weighted eccentricity of every node (max shortest-path distance).
+[[nodiscard]] std::vector<Weight> eccentricities(const Graph& g);
+
+// Weighted diameter (max eccentricity) and radius (min eccentricity).
+struct MetricSummary {
+  Weight diameter = 0.0;
+  Weight radius = 0.0;
+  NodeId center = kInvalidNode;     // a node attaining the radius
+  NodeId periphery = kInvalidNode;  // a node attaining the diameter
+};
+[[nodiscard]] MetricSummary metric_summary(const Graph& g);
+
+}  // namespace arvy::graph

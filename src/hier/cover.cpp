@@ -1,0 +1,97 @@
+#include "hier/cover.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace arvy::hier {
+
+CoverHierarchy::CoverHierarchy(const graph::DistanceOracle& oracle) {
+  node_count_ = oracle.graph().node_count();
+  ARVY_EXPECTS(node_count_ >= 1);
+
+  for (std::size_t i = 0;; ++i) {
+    Level level;
+    level.radius = std::ldexp(1.0, static_cast<int>(i));  // 2^i
+    const double separation = level.radius / 2.0;         // 2^(i-1)
+
+    // Greedy centers: every node ends up within `separation` of a center.
+    std::vector<NodeId> centers;
+    for (NodeId v = 0; v < node_count_; ++v) {
+      bool covered = false;
+      for (NodeId c : centers) {
+        if (oracle.distance(v, c) <= separation) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) centers.push_back(v);
+    }
+
+    level.clusters.reserve(centers.size());
+    for (NodeId c : centers) {
+      Cluster cluster;
+      cluster.center = c;
+      for (NodeId v = 0; v < node_count_; ++v) {
+        if (oracle.distance(v, c) <= level.radius) cluster.members.push_back(v);
+      }
+      level.clusters.push_back(std::move(cluster));
+    }
+
+    level.designated.assign(node_count_, 0);
+    level.containing.assign(node_count_, {});
+    for (std::size_t ci = 0; ci < level.clusters.size(); ++ci) {
+      for (NodeId v : level.clusters[ci].members) {
+        level.containing[v].push_back(ci);
+      }
+    }
+    for (NodeId v = 0; v < node_count_; ++v) {
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t ci : level.containing[v]) {
+        const double d = oracle.distance(v, level.clusters[ci].center);
+        if (d < best) {
+          best = d;
+          level.designated[v] = ci;
+        }
+      }
+      ARVY_ASSERT_MSG(best <= separation,
+                      "greedy centers failed to cover a node");
+    }
+
+    const bool single =
+        level.clusters.size() == 1 &&
+        level.clusters.front().members.size() == node_count_;
+    levels_.push_back(std::move(level));
+    if (single) break;
+    ARVY_ASSERT_MSG(i < 64, "cover hierarchy failed to converge");
+  }
+}
+
+const Level& CoverHierarchy::level(std::size_t i) const {
+  ARVY_EXPECTS(i < levels_.size());
+  return levels_[i];
+}
+
+NodeId CoverHierarchy::designated_leader(std::size_t i, NodeId v) const {
+  const Level& lvl = level(i);
+  ARVY_EXPECTS(v < node_count_);
+  return lvl.clusters[lvl.designated[v]].center;
+}
+
+std::size_t CoverHierarchy::max_space_words_per_node() const {
+  std::vector<std::size_t> words(node_count_, 0);
+  for (const Level& lvl : levels_) {
+    for (NodeId v = 0; v < node_count_; ++v) {
+      words[v] += 1;  // the designated leader id at this level
+    }
+    for (const Cluster& c : lvl.clusters) {
+      words[c.center] += 1;  // the downward pointer slot this node leads
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t w : words) best = std::max(best, w);
+  return best;
+}
+
+}  // namespace arvy::hier

@@ -1,0 +1,62 @@
+// Sparse-cover hierarchies.
+//
+// The Arvy paper's related work (§2) contrasts Arvy with directory protocols
+// built on hierarchies of sparse covers ([2, 4, 9, 14]): those achieve
+// O(log n) competitive ratio on rings but need O(log n) space per node and
+// O(log n) levels of bookkeeping. This module implements the hierarchy
+// substrate: at level i, greedily chosen centers at pairwise distance
+// > 2^(i-1) cover every node within 2^(i-1), and each center's cluster is
+// the ball of radius 2^i around it. The "designated" cluster of a node v is
+// the one whose center is nearest to v, which guarantees the middle-half
+// property: every u within 2^(i-1) of v belongs to v's designated level-i
+// cluster.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+
+namespace arvy::hier {
+
+using graph::NodeId;
+
+struct Cluster {
+  NodeId center = graph::kInvalidNode;  // also the cluster's leader
+  std::vector<NodeId> members;          // ball of radius 2^level around center
+};
+
+struct Level {
+  double radius = 0.0;  // 2^level
+  std::vector<Cluster> clusters;
+  // designated[v]: index into `clusters` of v's designated cluster.
+  std::vector<std::size_t> designated;
+  // containing[v]: indices of every cluster containing v (degree list).
+  std::vector<std::vector<std::size_t>> containing;
+};
+
+class CoverHierarchy {
+ public:
+  // Builds levels 0, 1, ... until a single cluster covers the graph.
+  explicit CoverHierarchy(const graph::DistanceOracle& oracle);
+
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return levels_.size();
+  }
+  [[nodiscard]] const Level& level(std::size_t i) const;
+
+  // Leader of v's designated cluster at level i.
+  [[nodiscard]] NodeId designated_leader(std::size_t i, NodeId v) const;
+
+  // Space audit: for each node, the words of hierarchy state it must hold
+  // (one designated-leader id per level, plus one pointer slot per cluster
+  // it leads). Returns the maximum over nodes.
+  [[nodiscard]] std::size_t max_space_words_per_node() const;
+
+ private:
+  std::vector<Level> levels_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace arvy::hier

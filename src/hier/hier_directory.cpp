@@ -1,0 +1,103 @@
+#include "hier/hier_directory.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arvy::hier {
+
+HierarchicalDirectory::HierarchicalDirectory(
+    const graph::DistanceOracle& oracle, NodeId initial_owner)
+    : oracle_(&oracle), hierarchy_(oracle), owner_(initial_owner) {
+  ARVY_EXPECTS(oracle.graph().contains(initial_owner));
+  // Initial publish: the owner's designated chain, one pointer per level
+  // from 1 up to the root. Level-1 pointers aim directly at the owner; every
+  // higher pointer aims at the center of the chain cluster one level down.
+  const std::size_t levels = hierarchy_.level_count();
+  chain_cluster_.assign(levels, 0);
+  for (std::size_t j = 1; j < levels; ++j) {
+    const Level& lvl = hierarchy_.level(j);
+    chain_cluster_[j] = lvl.designated[owner_];
+    const NodeId target =
+        j == 1 ? owner_
+               : hierarchy_.level(j - 1)
+                     .clusters[chain_cluster_[j - 1]]
+                     .center;
+    pointers_[{j, chain_cluster_[j]}] = target;
+  }
+}
+
+double HierarchicalDirectory::move(NodeId requester) {
+  ARVY_EXPECTS(oracle_->graph().contains(requester));
+  if (requester == owner_) return 0.0;
+  const std::size_t levels = hierarchy_.level_count();
+  ARVY_ASSERT(levels >= 2);  // n >= 2 implies at least levels 0 and 1
+  double cost = 0.0;
+
+  // Climb: probe every cluster containing the requester, level by level,
+  // until one of them is the chain cluster (the root level always is).
+  std::size_t hit_level = 0;
+  std::size_t hit_cluster = 0;
+  bool found = false;
+  for (std::size_t i = 1; i < levels && !found; ++i) {
+    const Level& lvl = hierarchy_.level(i);
+    for (std::size_t ci : lvl.containing[requester]) {
+      cost += 2.0 * oracle_->distance(requester, lvl.clusters[ci].center);
+      if (ci == chain_cluster_[i]) {
+        hit_level = i;
+        hit_cluster = ci;
+        found = true;
+        break;
+      }
+    }
+  }
+  ARVY_ASSERT_MSG(found, "lookup missed the chain at the root level");
+
+  // Descend the chain from the hit cluster to the owner, erasing the
+  // pointers being replaced.
+  NodeId cursor = hierarchy_.level(hit_level).clusters[hit_cluster].center;
+  for (std::size_t j = hit_level; j >= 2; --j) {
+    pointers_.erase({j, chain_cluster_[j]});
+    const NodeId next =
+        hierarchy_.level(j - 1).clusters[chain_cluster_[j - 1]].center;
+    cost += oracle_->distance(cursor, next);
+    cursor = next;
+  }
+  pointers_.erase({1, chain_cluster_[1]});
+  cost += oracle_->distance(cursor, owner_);
+
+  // The object travels directly to the requester.
+  cost += oracle_->distance(owner_, requester);
+
+  // Graft the requester's designated chain below the hit cluster. The hit
+  // cluster itself keeps its place on the chain; its pointer now descends
+  // towards the new owner.
+  NodeId previous = requester;
+  for (std::size_t j = 1; j <= hit_level; ++j) {
+    const std::size_t cluster =
+        j == hit_level ? hit_cluster
+                       : hierarchy_.level(j).designated[requester];
+    const NodeId center = hierarchy_.level(j).clusters[cluster].center;
+    cost += oracle_->distance(previous, center);
+    const NodeId target =
+        j == 1 ? requester
+               : hierarchy_.level(j - 1)
+                     .clusters[chain_cluster_[j - 1]]
+                     .center;
+    chain_cluster_[j] = cluster;
+    pointers_[{j, cluster}] = target;
+    previous = center;
+  }
+  owner_ = requester;
+  // One pointer per level 1..L must exist at all times.
+  ARVY_ENSURES(pointers_.size() == levels - 1);
+  return cost;
+}
+
+double HierarchicalDirectory::run_sequence(std::span<const NodeId> sequence) {
+  double total = 0.0;
+  for (NodeId v : sequence) total += move(v);
+  return total;
+}
+
+}  // namespace arvy::hier

@@ -1,0 +1,59 @@
+// A hierarchical (sparse-cover) distributed directory - the comparator the
+// Arvy paper cites as the state of the art on general graphs ([14] and
+// relatives, §2).
+//
+// SUBSTITUTION NOTE (see DESIGN.md): the original Spiral protocol is a
+// concurrent protocol over an overlay of O(log n) labelled covers; we
+// implement its directory mechanics (publish path of downward pointers,
+// upward lookup through the requester's clusters, cut-and-graft move) as a
+// sequential cost model over our CoverHierarchy. This preserves what E11
+// measures - per-move message distance and per-node space - while omitting
+// the concurrency control machinery that does not affect either.
+//
+// Mechanics: the owner maintains a chain of downward pointers, one per
+// level, from the root cluster to itself. move(r) climbs r's clusters level
+// by level until it finds a chain pointer, walks the chain down (deleting
+// it), moves the object to r, and grafts r's designated chain below the hit
+// cluster.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "hier/cover.hpp"
+
+namespace arvy::hier {
+
+class HierarchicalDirectory {
+ public:
+  HierarchicalDirectory(const graph::DistanceOracle& oracle,
+                        NodeId initial_owner);
+
+  // Moves the object to `requester`, returning the distance-weighted cost of
+  // all control and object messages. A request at the owner costs zero.
+  double move(NodeId requester);
+
+  // Sum of move costs over a sequence.
+  double run_sequence(std::span<const NodeId> sequence);
+
+  [[nodiscard]] NodeId owner() const noexcept { return owner_; }
+  [[nodiscard]] std::size_t level_count() const noexcept {
+    return hierarchy_.level_count();
+  }
+  [[nodiscard]] std::size_t max_space_words_per_node() const {
+    return hierarchy_.max_space_words_per_node();
+  }
+
+ private:
+  const graph::DistanceOracle* oracle_;
+  CoverHierarchy hierarchy_;
+  NodeId owner_;
+  // pointer[(level, cluster index)] -> node id of the next chain element one
+  // level down (the owner itself below level 1).
+  std::map<std::pair<std::size_t, std::size_t>, NodeId> pointers_;
+  // The cluster index of the chain's element at each level (level 0 is the
+  // owner's designated singleton-ish cluster).
+  std::vector<std::size_t> chain_cluster_;
+};
+
+}  // namespace arvy::hier

@@ -1,0 +1,147 @@
+#include "proto/core.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arvy::proto {
+
+ArvyCore::ArvyCore(NodeId id, NewParentPolicy* policy,
+                   const graph::DistanceOracle* distances, support::Rng* rng)
+    : id_(id),
+      policy_(policy),
+      distances_(distances),
+      rng_(rng),
+      parent_(id) {
+  ARVY_EXPECTS(policy != nullptr);
+}
+
+void ArvyCore::initialize(NodeId parent, bool holds_token,
+                          bool parent_edge_is_bridge) {
+  ARVY_EXPECTS(!initialized_);
+  // The root points to itself and holds the token; everyone else points
+  // strictly towards the root (tree shape is validated by the engine).
+  ARVY_EXPECTS((parent == id_) == holds_token);
+  parent_ = parent;
+  holds_token_ = holds_token;
+  parent_edge_is_bridge_ = parent_edge_is_bridge;
+  next_.reset();
+  outstanding_.reset();
+  initialized_ = true;
+}
+
+Effects ArvyCore::request_token(RequestId request) {
+  ARVY_EXPECTS(initialized_);
+  ARVY_EXPECTS_MSG(!holds_token_, "requesting while holding the token");
+  ARVY_EXPECTS_MSG(!outstanding_.has_value(),
+                   "duplicate outstanding request (model violation)");
+  // p(v) == v without the token means a request is already in flight, which
+  // the precondition above excludes.
+  ARVY_ASSERT(parent_ != id_);
+
+  Effects effects;
+  FindMessage find;
+  find.producer = id_;
+  find.sender = id_;
+  find.visited = {id_};
+  find.request = request;
+  // Algorithm 2 plumbing: the message records whether the edge it traverses
+  // (v, old p(v)) was the bridge; the requester's fresh self-loop is not.
+  find.sender_edge_was_bridge = parent_edge_is_bridge_;
+  effects.sends.push_back({parent_, Message{std::move(find)}});
+
+  parent_ = id_;                    // line 3
+  parent_edge_is_bridge_ = false;
+  outstanding_ = request;
+  return effects;
+}
+
+Effects ArvyCore::on_message(const Message& message) {
+  if (const auto* find = std::get_if<FindMessage>(&message)) {
+    return on_find(*find);
+  }
+  return on_token(std::get<TokenMessage>(message));
+}
+
+Effects ArvyCore::on_find(const FindMessage& find) {
+  ARVY_EXPECTS(initialized_);
+  ARVY_EXPECTS(!find.visited.empty());
+  ARVY_EXPECTS(find.visited.front() == find.producer);
+  ARVY_EXPECTS(find.visited.back() == find.sender);
+  // Theorem 4: a find visits each node at most once; receiving one's own
+  // find back would violate Lemma 2's source-component invariant.
+  ARVY_ASSERT_MSG(std::find(find.visited.begin(), find.visited.end(), id_) ==
+                      find.visited.end(),
+                  "find message revisited a node");
+
+  const NodeId old_parent = parent_;            // line 6: f <- p(w)
+  const bool old_bridge = parent_edge_is_bridge_;
+
+  PolicyContext ctx;
+  ctx.receiver = id_;
+  ctx.sender = find.sender;
+  ctx.producer = find.producer;
+  ctx.visited = find.visited;
+  ctx.sender_edge_was_bridge = find.sender_edge_was_bridge;
+  ctx.receiver_has_self_loop = old_parent == id_;
+  ctx.distances = distances_;
+  ctx.rng = rng_;
+  const PolicyDecision decision = policy_->choose(ctx);  // line 7
+  ARVY_ASSERT_MSG(std::find(find.visited.begin(), find.visited.end(),
+                            decision.new_parent) != find.visited.end(),
+                  "policy returned a node outside the visited set");
+  parent_ = decision.new_parent;
+  parent_edge_is_bridge_ = decision.new_edge_is_bridge;
+
+  Effects effects;
+  if (old_parent != id_) {  // lines 8-9: forward towards the old parent
+    FindMessage forwarded = find;
+    forwarded.sender = id_;
+    forwarded.visited.push_back(id_);
+    forwarded.sender_edge_was_bridge = old_bridge;
+    effects.sends.push_back({old_parent, Message{std::move(forwarded)}});
+  } else {  // lines 10-14: the find stops here
+    // Lemma 3's state machine: {L, N} is unreachable, so the next pointer
+    // must be free when a find terminates at a self-loop node.
+    ARVY_ASSERT_MSG(!next_.has_value(), "next pointer already occupied");
+    next_ = find.producer;  // line 11
+    if (holds_token_ && auto_send_token_) {
+      send_token_if_waiting(effects);  // line 13
+    }
+  }
+  return effects;
+}
+
+Effects ArvyCore::on_token(const TokenMessage& token) {
+  ARVY_EXPECTS(initialized_);
+  ARVY_ASSERT_MSG(!holds_token_, "duplicate token");
+  ARVY_ASSERT_MSG(outstanding_.has_value(),
+                  "token arrived at a node with no outstanding request");
+  holds_token_ = true;
+  token_serial_ = token.serial;
+
+  Effects effects;
+  effects.satisfied = outstanding_;  // line 21: use the token
+  outstanding_.reset();
+  send_token_if_waiting(effects);  // line 22
+  return effects;
+}
+
+Effects ArvyCore::flush_token() {
+  ARVY_EXPECTS_MSG(holds_token_, "flush_token on a node without the token");
+  Effects effects;
+  send_token_if_waiting(effects);
+  return effects;
+}
+
+void ArvyCore::send_token_if_waiting(Effects& effects) {
+  ARVY_ASSERT(holds_token_);
+  if (!next_.has_value()) return;  // line 25: keep the token
+  TokenMessage token;
+  token.serial = token_serial_ + 1;
+  effects.sends.push_back({*next_, Message{token}});  // line 26
+  next_.reset();                                      // line 27
+  holds_token_ = false;
+}
+
+}  // namespace arvy::proto

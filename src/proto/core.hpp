@@ -1,0 +1,103 @@
+// The Arvy protocol state machine (Algorithm 1), transport-agnostic.
+//
+// ArvyCore holds one node's protocol state - the parent pointer p(v), the
+// next pointer n(v), token possession, and the ring-bridge flag - and turns
+// each of the paper's four event kinds (request token, receive message,
+// receive token, send token) into a list of outgoing messages. It performs
+// no I/O: the discrete-event engine (proto/engine.hpp) and the threaded
+// runtime (runtime/) both drive the same core, so correctness results carry
+// across transports.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "proto/policy.hpp"
+
+namespace arvy::proto {
+
+struct Outgoing {
+  NodeId to = graph::kInvalidNode;
+  Message payload;
+};
+
+// The externally visible result of one protocol event.
+struct Effects {
+  std::vector<Outgoing> sends;
+  // Set when the token arrived here and satisfied this node's request.
+  std::optional<RequestId> satisfied;
+};
+
+class ArvyCore {
+ public:
+  // `policy` and (optionally) `distances`/`rng` must outlive the core; all
+  // nodes of one directory instance share them.
+  ArvyCore(NodeId id, NewParentPolicy* policy,
+           const graph::DistanceOracle* distances, support::Rng* rng);
+
+  // Installs the initial configuration: parent pointers forming a rooted
+  // tree, the token at the root (parent == id), bridge flag per Algorithm 2.
+  void initialize(NodeId parent, bool holds_token, bool parent_edge_is_bridge);
+
+  // Lines 1-4: RequestToken. Precondition: the node neither holds the token
+  // nor has an outstanding request (the model's one-outstanding rule; the
+  // engine queues duplicates instead, see SimEngine).
+  [[nodiscard]] Effects request_token(RequestId request);
+
+  // Lines 5-16 / 20-23: dispatch on the message alternative.
+  [[nodiscard]] Effects on_message(const Message& message);
+  [[nodiscard]] Effects on_find(const FindMessage& find);
+  [[nodiscard]] Effects on_token(const TokenMessage& token);
+
+  // The paper's event model (§5) treats "send token" as its own event that
+  // may occur any time after the enabling receive; Algorithm 1's pseudocode
+  // calls SendToken inline. The core does the latter by default; scripted
+  // replays (the Figure 1 trace) disable auto-send and trigger the event
+  // explicitly via flush_token. Only the find-at-holder path is deferrable;
+  // a received token still forwards inline.
+  void set_auto_send_token(bool enabled) noexcept {
+    auto_send_token_ = enabled;
+  }
+  // The standalone SendToken event. Precondition: this node holds the token.
+  [[nodiscard]] Effects flush_token();
+
+  // Observers (used by the invariant checker and the space audit).
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId parent() const noexcept { return parent_; }
+  [[nodiscard]] bool has_self_loop() const noexcept { return parent_ == id_; }
+  [[nodiscard]] std::optional<NodeId> next() const noexcept { return next_; }
+  [[nodiscard]] bool holds_token() const noexcept { return holds_token_; }
+  [[nodiscard]] bool parent_edge_is_bridge() const noexcept {
+    return parent_edge_is_bridge_;
+  }
+  [[nodiscard]] std::optional<RequestId> outstanding() const noexcept {
+    return outstanding_;
+  }
+  [[nodiscard]] std::uint64_t token_serial() const noexcept {
+    return token_serial_;
+  }
+  [[nodiscard]] const NewParentPolicy& policy() const noexcept {
+    return *policy_;
+  }
+
+ private:
+  // Lines 24-29: SendToken.
+  void send_token_if_waiting(Effects& effects);
+
+  NodeId id_;
+  NewParentPolicy* policy_;
+  const graph::DistanceOracle* distances_;
+  support::Rng* rng_;
+
+  NodeId parent_;
+  std::optional<NodeId> next_;
+  bool holds_token_ = false;
+  bool parent_edge_is_bridge_ = false;
+  std::optional<RequestId> outstanding_;
+  std::uint64_t token_serial_ = 0;
+  bool initialized_ = false;
+  bool auto_send_token_ = true;
+};
+
+}  // namespace arvy::proto

@@ -1,0 +1,112 @@
+#include "proto/directory.hpp"
+
+#include <algorithm>
+
+#include "graph/spanning_tree.hpp"
+#include "graph/tree_metrics.hpp"
+#include "support/assert.hpp"
+
+namespace arvy {
+
+namespace {
+
+bool is_canonical_ring(const graph::Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 4 || g.edge_count() != n) return false;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!g.has_edge(v, static_cast<graph::NodeId>((v + 1) % n))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+proto::InitialConfig default_initial_config(const graph::Graph& g,
+                                            proto::PolicyKind policy) {
+  if (policy == proto::PolicyKind::kBridge && is_canonical_ring(g)) {
+    if (g.node_count() % 2 == 0) {
+      bool unit = true;
+      for (const auto& e : g.edges()) {
+        if (e.weight != 1.0) {
+          unit = false;
+          break;
+        }
+      }
+      if (unit) return proto::ring_bridge_config(g.node_count());
+    }
+    return proto::weighted_ring_bridge_config(g);
+  }
+  const graph::MetricSummary metric = metric_summary(g);
+  return proto::from_tree(shortest_path_tree(g, metric.center));
+}
+
+Directory::Directory(const graph::Graph& g, DirectoryOptions options) {
+  const auto policy = proto::make_policy(options.policy, options.kback_k);
+  const proto::InitialConfig init =
+      options.initial.has_value() ? *options.initial
+                                  : default_initial_config(g, options.policy);
+  proto::SimEngine::Options engine_options;
+  engine_options.discipline = options.discipline;
+  engine_options.seed = options.seed;
+  engine_ = std::make_unique<proto::SimEngine>(g, init, *policy,
+                                               std::move(engine_options));
+}
+
+void Directory::acquire_and_wait(graph::NodeId v) {
+  const proto::RequestId id = acquire(v);
+  run();
+  ARVY_ASSERT_MSG(engine_->requests()[id - 1].satisfied_at.has_value(),
+                  "acquire_and_wait left the request unsatisfied");
+}
+
+MultiDirectory::MultiDirectory(const graph::Graph& g, std::size_t object_count,
+                               DirectoryOptions options) {
+  ARVY_EXPECTS(object_count >= 1);
+  instances_.reserve(object_count);
+  for (std::size_t i = 0; i < object_count; ++i) {
+    DirectoryOptions per_object = options;
+    // Decorrelate the per-object RNG streams; spread initial roots so the
+    // objects do not all start at the same node.
+    per_object.seed = options.seed + i * 0x9e3779b97f4a7c15ULL;
+    if (!per_object.initial.has_value()) {
+      proto::InitialConfig init = default_initial_config(g, options.policy);
+      if (options.policy != proto::PolicyKind::kBridge) {
+        const auto root =
+            static_cast<graph::NodeId>(i % g.node_count());
+        init = proto::from_tree(shortest_path_tree(g, root));
+      }
+      per_object.initial = std::move(init);
+    }
+    instances_.push_back(std::make_unique<Directory>(g, per_object));
+  }
+}
+
+proto::RequestId MultiDirectory::acquire(ObjectId object, graph::NodeId v) {
+  return instances_.at(object)->acquire(v);
+}
+
+void MultiDirectory::acquire_and_wait(ObjectId object, graph::NodeId v) {
+  instances_.at(object)->acquire_and_wait(v);
+}
+
+void MultiDirectory::run_all() {
+  for (auto& instance : instances_) instance->run();
+}
+
+Directory& MultiDirectory::object(ObjectId id) { return *instances_.at(id); }
+
+proto::CostAccount MultiDirectory::total_costs() const {
+  proto::CostAccount total;
+  for (const auto& instance : instances_) {
+    const proto::CostAccount& c = instance->costs();
+    total.find_distance += c.find_distance;
+    total.token_distance += c.token_distance;
+    total.find_messages += c.find_messages;
+    total.token_messages += c.token_messages;
+    total.max_visited_length =
+        std::max(total.max_visited_length, c.max_visited_length);
+  }
+  return total;
+}
+
+}  // namespace arvy

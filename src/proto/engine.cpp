@@ -1,0 +1,248 @@
+#include "proto/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace arvy::proto {
+
+namespace {
+
+sim::MessageBus<Message>::Options bus_options(SimEngine::Options& options) {
+  sim::MessageBus<Message>::Options out;
+  out.discipline = options.discipline;
+  out.seed = options.seed;
+  out.delay = std::move(options.delay);
+  out.script = std::move(options.script);
+  out.record_schedule = options.record_schedule;
+  return out;
+}
+
+}  // namespace
+
+SimEngine::SimEngine(const graph::Graph& g, const InitialConfig& init,
+                     const NewParentPolicy& policy, Options options)
+    : graph_(&g),
+      oracle_(g),
+      policy_(policy.clone()),
+      policy_rng_(options.seed ^ 0x9e3779b97f4a7c15ULL),
+      bus_(bus_options(options)) {
+  const bool auto_send_token = options.auto_send_token;
+  record_trace_ = options.record_trace;
+  ARVY_EXPECTS(init.node_count() == g.node_count());
+  ARVY_EXPECTS_MSG(init.is_valid_tree(),
+                   "initial parent pointers must form a rooted tree");
+  ARVY_EXPECTS(g.is_connected());
+  cores_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    cores_.emplace_back(v, policy_.get(), &oracle_, &policy_rng_);
+    cores_.back().initialize(init.parent[v], v == init.root,
+                             init.parent_edge_is_bridge[v]);
+    cores_.back().set_auto_send_token(auto_send_token);
+  }
+  queued_.resize(g.node_count());
+  bus_.set_handler([this](const sim::MessageBus<Message>::InFlight& entry) {
+    on_delivery(entry);
+  });
+}
+
+RequestId SimEngine::submit(NodeId v) {
+  ARVY_EXPECTS(v < cores_.size());
+  const RequestId id = static_cast<RequestId>(requests_.size()) + 1;
+  requests_.push_back({id, v, bus_.now(), std::nullopt, 0});
+  if (record_trace_) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRequest;
+    event.at = bus_.now();
+    event.node = v;
+    event.producer = v;
+    event.request = id;
+    trace_.record(event);
+  }
+  ArvyCore& core = cores_[v];
+  if (core.holds_token()) {
+    // The holder's request is satisfied on the spot at zero cost; the model
+    // only forbids *duplicate outstanding* requests.
+    auto& record = requests_.back();
+    record.satisfied_at = bus_.now();
+    record.satisfaction_index = ++satisfied_count_;
+  } else {
+    dispatch(v, core.request_token(id));
+  }
+  if (post_event_hook_) post_event_hook_(*this);
+  return id;
+}
+
+RequestId SimEngine::submit_queued(NodeId v) {
+  ARVY_EXPECTS(v < cores_.size());
+  if (!cores_[v].outstanding().has_value()) {
+    return submit(v);
+  }
+  // The node already has a find chasing the token; park this request
+  // locally. It costs nothing extra: when the token arrives it satisfies
+  // the whole queue "in one fell swoop" (§3).
+  const RequestId id = static_cast<RequestId>(requests_.size()) + 1;
+  requests_.push_back({id, v, bus_.now(), std::nullopt, 0});
+  if (record_trace_) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kRequest;
+    event.at = bus_.now();
+    event.node = v;
+    event.producer = v;
+    event.request = id;
+    trace_.record(event);
+  }
+  queued_[v].push_back(id);
+  if (post_event_hook_) post_event_hook_(*this);
+  return id;
+}
+
+bool SimEngine::step() { return bus_.step(); }
+
+void SimEngine::flush_token(NodeId v) {
+  ARVY_EXPECTS(v < cores_.size());
+  dispatch(v, cores_[v].flush_token());
+  if (post_event_hook_) post_event_hook_(*this);
+}
+
+void SimEngine::run_until_idle() { bus_.run_until_idle(); }
+
+void SimEngine::run_sequential(std::span<const NodeId> sequence) {
+  for (NodeId v : sequence) {
+    const RequestId id = submit(v);
+    run_until_idle();
+    ARVY_ASSERT_MSG(requests_[id - 1].satisfied_at.has_value(),
+                    "sequential request left unsatisfied at quiescence");
+  }
+}
+
+void SimEngine::run_concurrent(std::span<const TimedRequest> requests) {
+  ARVY_EXPECTS(std::is_sorted(
+      requests.begin(), requests.end(),
+      [](const TimedRequest& a, const TimedRequest& b) { return a.at < b.at; }));
+  ARVY_EXPECTS_MSG(bus_.now() == 0.0 || requests.empty() ||
+                       requests.front().at >= bus_.now(),
+                   "request times must not precede the current clock");
+  for (const TimedRequest& request : requests) {
+    // Deliver everything due before this arrival. Under kTimed the bus pops
+    // in deliver_at order, so peeking via step() is time-faithful as long as
+    // we stop once the head is later than the arrival. The bus does not
+    // expose the head time directly; instead we advance the clock and rely
+    // on deliver_at ordering: deliveries with deliver_at <= at happen first.
+    while (!bus_.idle()) {
+      // Peek by delivering; MessageBus::now() jumps to the message's time.
+      // If that jump would overshoot the arrival we must submit first, so
+      // check against the earliest pending deliver_at.
+      sim::Time earliest = std::numeric_limits<sim::Time>::infinity();
+      for (const auto* entry : bus_.pending()) {
+        earliest = std::min(earliest, entry->deliver_at);
+      }
+      if (earliest > request.at) break;
+      bus_.step();
+    }
+    if (bus_.now() < request.at) bus_.advance_time(request.at);
+    submit(request.node);
+  }
+  run_until_idle();
+}
+
+std::size_t SimEngine::unsatisfied_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(requests_.begin(), requests_.end(), [](const auto& r) {
+        return !r.satisfied_at.has_value();
+      }));
+}
+
+const ArvyCore& SimEngine::node(NodeId v) const {
+  ARVY_EXPECTS(v < cores_.size());
+  return cores_[v];
+}
+
+std::optional<NodeId> SimEngine::token_holder() const {
+  for (const ArvyCore& core : cores_) {
+    if (core.holds_token()) return core.id();
+  }
+  return std::nullopt;
+}
+
+void SimEngine::dispatch(NodeId from, Effects&& effects) {
+  if (effects.satisfied.has_value()) {
+    auto& record = requests_.at(*effects.satisfied - 1);
+    ARVY_ASSERT_MSG(!record.satisfied_at.has_value(),
+                    "request satisfied twice");
+    ARVY_ASSERT(record.node == from);
+    record.satisfied_at = bus_.now();
+    record.satisfaction_index = ++satisfied_count_;
+    // One fell swoop (§3): every request queued at this node is satisfied
+    // by the same token visit.
+    for (RequestId queued : queued_[from]) {
+      auto& waiting = requests_.at(queued - 1);
+      ARVY_ASSERT(!waiting.satisfied_at.has_value());
+      waiting.satisfied_at = bus_.now();
+      waiting.satisfaction_index = ++satisfied_count_;
+    }
+    queued_[from].clear();
+  }
+  for (Outgoing& out : effects.sends) {
+    const double distance = oracle_.distance(from, out.to);
+    if (const auto* find = std::get_if<FindMessage>(&out.payload)) {
+      costs_.find_distance += distance;
+      ++costs_.find_messages;
+      costs_.max_visited_length =
+          std::max(costs_.max_visited_length, find->visited.size());
+      if (record_trace_) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kFindSent;
+        event.at = bus_.now();
+        event.node = from;
+        event.from = from;
+        event.to = out.to;
+        event.producer = find->producer;
+        event.request = find->request;
+        event.distance = distance;
+        trace_.record(event);
+      }
+    } else {
+      costs_.token_distance += distance;
+      ++costs_.token_messages;
+      if (record_trace_) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kTokenSent;
+        event.at = bus_.now();
+        event.node = from;
+        event.from = from;
+        event.to = out.to;
+        event.distance = distance;
+        trace_.record(event);
+      }
+    }
+    bus_.send(from, out.to, std::move(out.payload), distance);
+  }
+}
+
+void SimEngine::on_delivery(const sim::MessageBus<Message>::InFlight& entry) {
+  ArvyCore& core = cores_.at(entry.to);
+  Effects effects = core.on_message(entry.payload);
+  if (record_trace_) {
+    TraceEvent event;
+    event.at = bus_.now();
+    event.node = entry.to;
+    event.from = entry.from;
+    event.to = entry.to;
+    if (const auto* find = std::get_if<FindMessage>(&entry.payload)) {
+      event.kind = TraceEventKind::kFindReceived;
+      event.producer = find->producer;
+      event.request = find->request;
+      event.new_parent = core.parent();
+    } else {
+      event.kind = TraceEventKind::kTokenReceived;
+      if (effects.satisfied.has_value()) event.request = *effects.satisfied;
+    }
+    trace_.record(event);
+  }
+  dispatch(entry.to, std::move(effects));
+  if (post_event_hook_) post_event_hook_(*this);
+}
+
+}  // namespace arvy::proto

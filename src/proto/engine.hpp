@@ -1,0 +1,153 @@
+// Discrete-event execution engine for the Arvy protocol family.
+//
+// Owns one ArvyCore per node, a MessageBus carrying proto::Message, and the
+// cost accountant. Charges every message with its shortest-path distance
+// (the paper's cost measure: "total distance traversed by the messages").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "proto/core.hpp"
+#include "proto/init.hpp"
+#include "proto/messages.hpp"
+#include "proto/policy.hpp"
+#include "proto/trace.hpp"
+#include "sim/bus.hpp"
+
+namespace arvy::proto {
+
+// Distance-weighted message cost, split by message kind. The paper's
+// Theorem 6 accounting covers the find traffic; E14 also reports totals
+// including token movement.
+struct CostAccount {
+  double find_distance = 0.0;
+  double token_distance = 0.0;
+  std::uint64_t find_messages = 0;
+  std::uint64_t token_messages = 0;
+  std::size_t max_visited_length = 0;  // longest find path seen (space audit)
+
+  [[nodiscard]] double total_distance() const noexcept {
+    return find_distance + token_distance;
+  }
+};
+
+struct RequestRecord {
+  RequestId id = 0;
+  NodeId node = graph::kInvalidNode;
+  sim::Time submitted = 0.0;
+  std::optional<sim::Time> satisfied_at;
+  // Position in the global satisfaction order (1-based; 0 = unsatisfied).
+  std::uint64_t satisfaction_index = 0;
+};
+
+struct EngineOptions {
+  sim::Discipline discipline = sim::Discipline::kTimed;
+  std::unique_ptr<sim::DelayModel> delay;  // default: distance-proportional
+  std::uint64_t seed = 1;
+  // When false, a find terminating at the token holder parks in n(w) and the
+  // token leaves only on an explicit flush_token(w) - the paper's separate
+  // "send token" event, used by scripted replays.
+  bool auto_send_token = true;
+  // Record a structured TraceEvent per protocol event (costs a little memory
+  // on long runs; off by default).
+  bool record_trace = false;
+  // Deterministic replay: record the delivery schedule, or replay one under
+  // sim::Discipline::kScripted (see sim/bus.hpp).
+  bool record_schedule = false;
+  sim::Schedule script;
+};
+
+class SimEngine {
+ public:
+  using Options = EngineOptions;
+
+  // The policy is cloned; the graph must outlive the engine.
+  SimEngine(const graph::Graph& g, const InitialConfig& init,
+            const NewParentPolicy& policy, Options options = {});
+
+  // Injects a request at node v and processes the RequestToken event
+  // immediately (it is a local event). If v already holds the token the
+  // request is trivially satisfied at zero cost. Returns the request id.
+  // Precondition: v has no outstanding request (the model's rule, §3).
+  RequestId submit(NodeId v);
+
+  // Like submit, but implements §3's remark for nodes with an outstanding
+  // request: "letting the further requests wait until the token arrives, at
+  // which point all outstanding requests can be satisfied in one fell
+  // swoop". Queued requests are satisfied together with the in-flight one.
+  RequestId submit_queued(NodeId v);
+
+  // Delivers one pending message; false when the network is quiet.
+  bool step();
+  void run_until_idle();
+
+  // Fires the standalone SendToken event at v (deferred-token mode).
+  void flush_token(NodeId v);
+
+  // Sequential semantics (§6): each request is issued only after the
+  // previous one is satisfied.
+  void run_sequential(std::span<const NodeId> sequence);
+
+  // Concurrent semantics under the timed discipline: requests fire at their
+  // given times while earlier messages are still in flight.
+  struct TimedRequest {
+    NodeId node = graph::kInvalidNode;
+    sim::Time at = 0.0;
+  };
+  void run_concurrent(std::span<const TimedRequest> requests);
+
+  // --- Observers -----------------------------------------------------------
+  [[nodiscard]] const CostAccount& costs() const noexcept { return costs_; }
+  [[nodiscard]] const std::vector<RequestRecord>& requests() const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t unsatisfied_count() const noexcept;
+  [[nodiscard]] const ArvyCore& node(NodeId v) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return cores_.size(); }
+  // Node currently holding the token, or nullopt while it is in flight.
+  [[nodiscard]] std::optional<NodeId> token_holder() const;
+  [[nodiscard]] const sim::MessageBus<Message>& bus() const noexcept {
+    return bus_;
+  }
+  [[nodiscard]] sim::MessageBus<Message>& bus() noexcept { return bus_; }
+  [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
+    return oracle_;
+  }
+  [[nodiscard]] const NewParentPolicy& policy() const noexcept {
+    return *policy_;
+  }
+
+  // Structured event trace (empty unless Options::record_trace).
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+
+  // Called after every protocol event (request submission or message
+  // delivery); the invariant checker hooks in here.
+  void set_post_event_hook(std::function<void(const SimEngine&)> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
+ private:
+  void dispatch(NodeId from, Effects&& effects);
+  void on_delivery(const sim::MessageBus<Message>::InFlight& entry);
+
+  const graph::Graph* graph_;
+  graph::DistanceOracle oracle_;
+  std::unique_ptr<NewParentPolicy> policy_;
+  support::Rng policy_rng_;
+  sim::MessageBus<Message> bus_;
+  std::vector<ArvyCore> cores_;
+  CostAccount costs_;
+  std::vector<RequestRecord> requests_;
+  std::vector<std::vector<RequestId>> queued_;  // per-node waiting requests
+  std::uint64_t satisfied_count_ = 0;
+  bool record_trace_ = false;
+  TraceRecorder trace_;
+  std::function<void(const SimEngine&)> post_event_hook_;
+};
+
+}  // namespace arvy::proto

@@ -1,0 +1,105 @@
+#include "proto/init.hpp"
+
+#include "support/assert.hpp"
+
+namespace arvy::proto {
+
+namespace {
+
+// Path tree on 0..n-1 with pointers towards `root`; `bridge_child`, when
+// valid, marks (bridge_child, parent(bridge_child)) as the bridge.
+InitialConfig oriented_path(std::size_t n, NodeId root, NodeId bridge_child) {
+  ARVY_EXPECTS(n >= 2 && root < n);
+  InitialConfig cfg;
+  cfg.root = root;
+  cfg.parent.resize(n);
+  cfg.parent_edge_is_bridge.assign(n, false);
+  cfg.parent[root] = root;
+  for (NodeId v = root; v > 0; --v) cfg.parent[v - 1] = v;
+  for (NodeId v = root; v + 1 < n; ++v) cfg.parent[v + 1] = v;
+  if (bridge_child != graph::kInvalidNode) {
+    ARVY_EXPECTS(bridge_child < n && bridge_child != root);
+    cfg.parent_edge_is_bridge[bridge_child] = true;
+  }
+  ARVY_ENSURES(cfg.is_valid_tree());
+  return cfg;
+}
+
+}  // namespace
+
+bool InitialConfig::is_valid_tree() const {
+  if (root >= parent.size() || parent[root] != root) return false;
+  if (parent_edge_is_bridge.size() != parent.size()) return false;
+  for (NodeId v = 0; v < parent.size(); ++v) {
+    if (parent[v] >= parent.size()) return false;
+    if (v != root && parent[v] == v) return false;  // only one self-loop
+    NodeId u = v;
+    std::size_t steps = 0;
+    while (parent[u] != u) {
+      u = parent[u];
+      if (++steps > parent.size()) return false;  // cycle
+    }
+    if (u != root) return false;
+  }
+  return true;
+}
+
+InitialConfig from_tree(const graph::RootedTree& tree) {
+  ARVY_EXPECTS(tree.is_valid());
+  InitialConfig cfg;
+  cfg.root = tree.root;
+  cfg.parent = tree.parent;
+  cfg.parent_edge_is_bridge.assign(tree.parent.size(), false);
+  ARVY_ENSURES(cfg.is_valid_tree());
+  return cfg;
+}
+
+InitialConfig ring_bridge_config(std::size_t n) {
+  ARVY_EXPECTS_MSG(n >= 4 && n % 2 == 0,
+                   "Algorithm 2's initialization assumes even n >= 4");
+  // Root v_{n/2} (0-based: n/2 - 1); bridge child v_{n/2+1} (0-based: n/2).
+  return oriented_path(n, static_cast<NodeId>(n / 2 - 1),
+                       static_cast<NodeId>(n / 2));
+}
+
+InitialConfig weighted_ring_bridge_config(const graph::Graph& ring) {
+  const std::size_t n = ring.node_count();
+  ARVY_EXPECTS(n >= 3);
+  ARVY_EXPECTS_MSG(ring.has_edge(static_cast<NodeId>(n - 1), 0),
+                   "expected a canonical ring (edges {i, i+1 mod n})");
+  // Drop edge {n-1, 0}; the tree is the path 0..n-1. Put the bridge on the
+  // edge {k, k+1} containing the weight midpoint of the path: then each side
+  // weighs at most P/2 < W/2, as the Theorem 7 construction requires.
+  double path_weight = 0.0;
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    path_weight += ring.edge_weight(v, static_cast<NodeId>(v + 1));
+  }
+  double prefix = 0.0;
+  NodeId k = 0;
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    const double w = ring.edge_weight(v, static_cast<NodeId>(v + 1));
+    if (prefix + w >= path_weight / 2.0) {
+      k = v;
+      break;
+    }
+    prefix += w;
+  }
+  const double left = prefix;
+  const double right =
+      path_weight - prefix - ring.edge_weight(k, static_cast<NodeId>(k + 1));
+  ARVY_ASSERT(left < ring.total_weight() / 2.0);
+  ARVY_ASSERT(right < ring.total_weight() / 2.0);
+  // Root at k; bridge child k+1 (its parent pointer crosses to the root).
+  return oriented_path(n, k, static_cast<NodeId>(k + 1));
+}
+
+InitialConfig chain_config(std::size_t n) {
+  ARVY_EXPECTS(n >= 2);
+  return oriented_path(n, static_cast<NodeId>(n - 1), graph::kInvalidNode);
+}
+
+InitialConfig path_config(std::size_t n, NodeId root) {
+  return oriented_path(n, root, graph::kInvalidNode);
+}
+
+}  // namespace arvy::proto

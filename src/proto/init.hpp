@@ -1,0 +1,51 @@
+// Initial configurations for Algorithm 1.
+//
+// The protocol starts from parent pointers that form a rooted tree directed
+// towards a root holding the token (§4). This module builds the initial
+// trees the experiments need, including Algorithm 2's ring split with its
+// designated bridge edge.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+
+namespace arvy::proto {
+
+using graph::NodeId;
+
+struct InitialConfig {
+  NodeId root = graph::kInvalidNode;     // token's initial location
+  std::vector<NodeId> parent;            // parent[root] == root
+  std::vector<bool> parent_edge_is_bridge;  // Algorithm 2 flag, default false
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return parent.size(); }
+  // Exactly one self-loop (the root) and every node reaches it.
+  [[nodiscard]] bool is_valid_tree() const;
+};
+
+// Any rooted spanning tree, no bridge.
+[[nodiscard]] InitialConfig from_tree(const graph::RootedTree& tree);
+
+// Algorithm 2's initialization for a ring of even size n: two semicircles of
+// parent pointers meeting at root v_{n/2}, bridge on edge
+// (v_{n/2+1}, v_{n/2}). With this module's 0-based ids the root is n/2 - 1
+// and the bridge child is n/2.
+[[nodiscard]] InitialConfig ring_bridge_config(std::size_t n);
+
+// Theorem 7's initialization for a weighted ring: drop edge {n-1, 0}, choose
+// the bridge so the tree weight strictly on each side is below W/2 (always
+// possible; see the proof sketch after Theorem 6), root at the bridge's
+// parent-side endpoint.
+[[nodiscard]] InitialConfig weighted_ring_bridge_config(const graph::Graph& ring);
+
+// Chain p(v_i) = v_{i+1} rooted at the last node - the Ivy lower-bound
+// instance of Lemma 8.
+[[nodiscard]] InitialConfig chain_config(std::size_t n);
+
+// Path tree oriented towards position `root`, no bridge (Arrow on a ring's
+// spanning path, Lemma 8).
+[[nodiscard]] InitialConfig path_config(std::size_t n, NodeId root);
+
+}  // namespace arvy::proto

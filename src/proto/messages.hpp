@@ -1,0 +1,52 @@
+// Protocol messages of Algorithm 1.
+//
+// Arvy uses exactly two message types: "find by v" and "token". The find
+// message carries its visited history so that arbitrary NewParent policies
+// can be expressed ("return v OR any node that had received and forwarded
+// v's current find message", Algorithm 1 line 18). Concrete policies declare
+// how much of that history a real deployment would need (see
+// NewParentPolicy::message_words) - Arrow, Ivy and the ring bridge all need
+// O(1) fields; only exotic policies need the full path.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arvy::proto {
+
+using graph::NodeId;
+using RequestId = std::uint64_t;
+
+struct FindMessage {
+  // The node whose request this is ("find by v").
+  NodeId producer = graph::kInvalidNode;
+  // The node that sent this hop (the producer for the first hop).
+  NodeId sender = graph::kInvalidNode;
+  // Nodes that have received and forwarded this find, in order, starting
+  // with the producer. Invariant: visited.back() == sender.
+  std::vector<NodeId> visited;
+  // Whether the parent edge this hop traversed was the ring bridge
+  // (Algorithm 2 plumbing; meaningless under other policies).
+  bool sender_edge_was_bridge = false;
+  // Engine-assigned id of the request, for satisfaction accounting.
+  RequestId request = 0;
+};
+
+struct TokenMessage {
+  // Monotone counter of token transfers, for tracing and sanity checks.
+  std::uint64_t serial = 0;
+};
+
+using Message = std::variant<FindMessage, TokenMessage>;
+
+[[nodiscard]] inline bool is_find(const Message& m) noexcept {
+  return std::holds_alternative<FindMessage>(m);
+}
+[[nodiscard]] inline bool is_token(const Message& m) noexcept {
+  return std::holds_alternative<TokenMessage>(m);
+}
+
+}  // namespace arvy::proto

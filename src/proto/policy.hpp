@@ -1,0 +1,73 @@
+// The NewParent policy interface - the degree of freedom that makes Arvy a
+// family of protocols (Algorithm 1, lines 17-19).
+//
+// When node w receives "find by v" from u, the policy must return v or any
+// node that already received and forwarded this find message; that is, any
+// element of the message's `visited` set. Arrow is "return u" (the sender,
+// always visited.back()), Ivy is "return v" (the producer, always
+// visited.front()), and Algorithm 2's ring bridge switches between the two
+// based on whether the traversed edge was the bridge.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::proto {
+
+using graph::NodeId;
+
+struct PolicyContext {
+  NodeId receiver = graph::kInvalidNode;  // w
+  NodeId sender = graph::kInvalidNode;    // u (== visited.back())
+  NodeId producer = graph::kInvalidNode;  // v (== visited.front())
+  // Every node that received and forwarded this find, starting with the
+  // producer; the legal NewParent results are exactly these nodes.
+  std::span<const NodeId> visited;
+  // Whether the traversed parent edge (u, w) was the ring bridge.
+  bool sender_edge_was_bridge = false;
+  // Whether the receiver has a self-loop (i.e. the find stops here).
+  bool receiver_has_self_loop = false;
+  // Distance oracle for metric-aware policies; may be null when the engine
+  // runs without one (the bundled policies other than kClosest tolerate it).
+  const graph::DistanceOracle* distances = nullptr;
+  // Per-message randomness for randomized policies.
+  support::Rng* rng = nullptr;
+};
+
+struct PolicyDecision {
+  NodeId new_parent = graph::kInvalidNode;
+  // Whether the receiver's new parent edge becomes the ring bridge.
+  bool new_edge_is_bridge = false;
+};
+
+class NewParentPolicy {
+ public:
+  virtual ~NewParentPolicy() = default;
+
+  // Must return a member of ctx.visited (the engine enforces this with an
+  // assertion - it is the protocol's correctness precondition).
+  [[nodiscard]] virtual PolicyDecision choose(const PolicyContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  // Space accounting for experiment E12, in machine words.
+  // Per-node protocol state beyond Algorithm 1's p(v) and n(v).
+  [[nodiscard]] virtual std::size_t node_state_words() const noexcept {
+    return 0;
+  }
+  // Fields of the find message this policy actually needs. kFullPath means
+  // the whole visited history (O(path length) words).
+  enum class MessageNeeds { kConstant, kFullPath };
+  [[nodiscard]] virtual MessageNeeds message_needs() const noexcept {
+    return MessageNeeds::kConstant;
+  }
+
+  [[nodiscard]] virtual std::unique_ptr<NewParentPolicy> clone() const = 0;
+};
+
+}  // namespace arvy::proto

@@ -1,0 +1,62 @@
+#include "proto/trace.hpp"
+
+#include <ostream>
+
+namespace arvy::proto {
+
+const char* trace_event_kind_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kRequest:
+      return "request";
+    case TraceEventKind::kFindSent:
+      return "find-sent";
+    case TraceEventKind::kFindReceived:
+      return "find-recv";
+    case TraceEventKind::kTokenSent:
+      return "token-sent";
+    case TraceEventKind::kTokenReceived:
+      return "token-recv";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceRecorder::for_request(RequestId request) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events_) {
+    if (e.request == request) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceRecorder::print(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << '[' << e.at << "] " << trace_event_kind_name(e.kind) << " node="
+       << e.node;
+    if (e.from != graph::kInvalidNode) {
+      os << ' ' << e.from << "->" << e.to;
+    }
+    if (e.producer != graph::kInvalidNode) {
+      os << " find-by=" << e.producer;
+    }
+    if (e.request != 0) {
+      os << " req=" << e.request;
+    }
+    if (e.distance > 0.0) {
+      os << " dist=" << e.distance;
+    }
+    if (e.new_parent != graph::kInvalidNode) {
+      os << " new-parent=" << e.new_parent;
+    }
+    os << '\n';
+  }
+}
+
+double TraceRecorder::total_distance(TraceEventKind kind) const noexcept {
+  double total = 0.0;
+  for (const TraceEvent& e : events_) {
+    if (e.kind == kind) total += e.distance;
+  }
+  return total;
+}
+
+}  // namespace arvy::proto

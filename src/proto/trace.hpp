@@ -1,0 +1,68 @@
+// Structured event traces of protocol executions.
+//
+// The recorder captures the paper's event vocabulary (§5) - request token,
+// receive message, send token, receive token - with enough payload to
+// replay or pretty-print an execution. It powers the Figure 1 style textual
+// traces and gives downstream users a debugging story.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "proto/messages.hpp"
+#include "sim/time.hpp"
+
+namespace arvy::proto {
+
+enum class TraceEventKind : unsigned char {
+  kRequest,       // node issued RequestToken
+  kFindSent,      // find hop entered the network
+  kFindReceived,  // find hop delivered (forwarded or terminated)
+  kTokenSent,     // token transfer entered the network
+  kTokenReceived  // token delivered; request satisfied
+};
+
+[[nodiscard]] const char* trace_event_kind_name(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  TraceEventKind kind{};
+  sim::Time at = 0.0;
+  NodeId node = graph::kInvalidNode;  // where the event happened
+  // Message endpoints for send/receive events.
+  NodeId from = graph::kInvalidNode;
+  NodeId to = graph::kInvalidNode;
+  // The find's producer (request/find events) or kInvalidNode.
+  NodeId producer = graph::kInvalidNode;
+  RequestId request = 0;
+  double distance = 0.0;  // charged message distance (send events)
+  // New parent adopted by `node` (find receive events).
+  NodeId new_parent = graph::kInvalidNode;
+};
+
+class TraceRecorder {
+ public:
+  void clear() noexcept { events_.clear(); }
+  void record(TraceEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  // Events touching one request id, in order.
+  [[nodiscard]] std::vector<TraceEvent> for_request(RequestId request) const;
+
+  // Human-readable listing, one line per event.
+  void print(std::ostream& os) const;
+
+  // Total distance per event kind (cross-check for the cost accountant).
+  [[nodiscard]] double total_distance(TraceEventKind kind) const noexcept;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace arvy::proto

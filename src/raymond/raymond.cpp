@@ -1,0 +1,146 @@
+#include "raymond/raymond.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arvy::raymond {
+
+RaymondEngine::RaymondEngine(const graph::Graph& g,
+                             const graph::RootedTree& tree, Options options)
+    : graph_(&g), oracle_(g), bus_([&options] {
+        sim::MessageBus<Message>::Options bus_options;
+        bus_options.discipline = options.discipline;
+        bus_options.seed = options.seed;
+        bus_options.delay = std::move(options.delay);
+        return bus_options;
+      }()) {
+  ARVY_EXPECTS(tree.node_count() == g.node_count());
+  ARVY_EXPECTS(tree.is_valid());
+  nodes_.resize(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    nodes_[v].id = v;
+    // Raymond's holder pointers: towards the token, i.e. the tree parent;
+    // the root holds the token and points at itself.
+    nodes_[v].holder = tree.parent[v] == v ? v : tree.parent[v];
+  }
+  bus_.set_handler([this](const sim::MessageBus<Message>::InFlight& entry) {
+    on_delivery(entry);
+  });
+}
+
+RequestId RaymondEngine::submit(NodeId v) {
+  ARVY_EXPECTS(v < nodes_.size());
+  RaymondNode& node = nodes_[v];
+  ARVY_EXPECTS_MSG(!node.outstanding.has_value(),
+                   "duplicate outstanding request (model rule)");
+  const RequestId id = static_cast<RequestId>(requests_.size()) + 1;
+  requests_.push_back({id, v, bus_.now(), std::nullopt, 0});
+  node.outstanding = id;
+  node.request_queue.push_back(v);  // SELF
+  note_queue(v);
+  assign_privilege(v);
+  make_request(v);
+  return id;
+}
+
+void RaymondEngine::run_sequential(std::span<const NodeId> sequence) {
+  for (NodeId v : sequence) {
+    const RequestId id = submit(v);
+    run_until_idle();
+    ARVY_ASSERT_MSG(requests_[id - 1].satisfied_at.has_value(),
+                    "sequential Raymond request left unsatisfied");
+  }
+}
+
+std::size_t RaymondEngine::unsatisfied_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(requests_.begin(), requests_.end(), [](const auto& r) {
+        return !r.satisfied_at.has_value();
+      }));
+}
+
+std::optional<NodeId> RaymondEngine::token_holder() const {
+  if (token_in_flight_) return std::nullopt;
+  for (const RaymondNode& node : nodes_) {
+    if (node.holder == node.id) return node.id;
+  }
+  return std::nullopt;
+}
+
+const RaymondNode& RaymondEngine::node(NodeId v) const {
+  ARVY_EXPECTS(v < nodes_.size());
+  return nodes_[v];
+}
+
+void RaymondEngine::on_delivery(
+    const sim::MessageBus<Message>::InFlight& entry) {
+  const NodeId v = entry.to;
+  RaymondNode& node = nodes_[v];
+  if (std::holds_alternative<RequestMessage>(entry.payload)) {
+    // A neighbour's subtree wants the token.
+    node.request_queue.push_back(entry.from);
+    note_queue(v);
+  } else {
+    // PRIVILEGE arrives: this node becomes the tree's root.
+    ARVY_ASSERT(token_in_flight_);
+    token_in_flight_ = false;
+    node.holder = v;
+    node.asked = false;  // the ask (if any) has been answered
+  }
+  assign_privilege(v);
+  make_request(v);
+}
+
+void RaymondEngine::assign_privilege(NodeId v) {
+  RaymondNode& node = nodes_[v];
+  while (node.holder == v && !node.using_token &&
+         !node.request_queue.empty()) {
+    const NodeId head = node.request_queue.front();
+    node.request_queue.pop_front();
+    if (head == v) {
+      // Enter and immediately leave the critical section (token use is
+      // instantaneous in the directory abstraction).
+      ARVY_ASSERT_MSG(node.outstanding.has_value(),
+                      "SELF queued without an outstanding request");
+      auto& record = requests_.at(*node.outstanding - 1);
+      ARVY_ASSERT(!record.satisfied_at.has_value());
+      record.satisfied_at = bus_.now();
+      record.satisfaction_index = ++satisfied_count_;
+      node.outstanding.reset();
+      continue;  // exit CS; try to pass the token on
+    }
+    // Hand the token one tree hop towards the requesting subtree.
+    node.holder = head;
+    node.asked = false;
+    token_in_flight_ = true;
+    send(v, head, Message{TokenMessage{}});
+    break;
+  }
+}
+
+void RaymondEngine::make_request(NodeId v) {
+  RaymondNode& node = nodes_[v];
+  if (node.holder != v && !node.request_queue.empty() && !node.asked) {
+    node.asked = true;
+    send(v, node.holder, Message{RequestMessage{}});
+  }
+}
+
+void RaymondEngine::send(NodeId from, NodeId to, Message message) {
+  const double distance = oracle_.distance(from, to);
+  if (std::holds_alternative<RequestMessage>(message)) {
+    costs_.request_distance += distance;
+    ++costs_.request_messages;
+  } else {
+    costs_.token_distance += distance;
+    ++costs_.token_messages;
+  }
+  bus_.send(from, to, std::move(message), distance);
+}
+
+void RaymondEngine::note_queue(NodeId v) {
+  max_queue_depth_ = std::max(max_queue_depth_, nodes_[v].request_queue.size());
+}
+
+}  // namespace arvy::raymond

@@ -1,0 +1,137 @@
+// Raymond's tree-based mutual exclusion algorithm (TOCS 1989).
+//
+// The Arvy paper's related work opens with it: "Raymond's tree based mutual
+// exclusion algorithm predates the similar Arrow protocol" (§2). Like
+// Arrow, Raymond maintains a fixed tree whose directed "holder" pointers
+// lead to the token; unlike Arrow, each node keeps a FIFO queue of
+// neighbours (possibly including itself) that want the token, sends at most
+// one outstanding REQUEST along its holder pointer, and the token travels
+// back hop-by-hop re-rooting as it goes - requests from a whole subtree are
+// batched behind a single upstream REQUEST.
+//
+// This implementation follows Raymond's original rules (assign-privilege /
+// make-request after every event) on top of the same message bus and cost
+// accounting as the Arvy engine, so the two families are directly
+// comparable (bench: raymond_vs_arvy).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning_tree.hpp"
+#include "sim/bus.hpp"
+
+namespace arvy::raymond {
+
+using graph::NodeId;
+using RequestId = std::uint64_t;
+
+struct RequestMessage {};  // REQUEST: "my subtree wants the token"
+struct TokenMessage {};    // PRIVILEGE: the token moves one tree hop
+using Message = std::variant<RequestMessage, TokenMessage>;
+
+// Per-node Raymond state (all constant-size except the queue, which holds
+// at most degree+1 entries - one per neighbour plus SELF).
+class RaymondNode {
+ public:
+  // `self_marker` in the queue is represented by the node's own id.
+  RaymondNode() = default;
+
+  NodeId id = graph::kInvalidNode;
+  // Tree neighbour towards the token; self when holding it.
+  NodeId holder = graph::kInvalidNode;
+  bool asked = false;        // one outstanding REQUEST along `holder`
+  bool using_token = false;  // "in critical section" (instantaneous here)
+  std::deque<NodeId> request_queue;
+  std::optional<RequestId> outstanding;  // this node's own pending request
+};
+
+struct RaymondCosts {
+  double request_distance = 0.0;
+  double token_distance = 0.0;
+  std::uint64_t request_messages = 0;
+  std::uint64_t token_messages = 0;
+
+  [[nodiscard]] double total_distance() const noexcept {
+    return request_distance + token_distance;
+  }
+};
+
+struct RaymondRequestRecord {
+  RequestId id = 0;
+  NodeId node = graph::kInvalidNode;
+  sim::Time submitted = 0.0;
+  std::optional<sim::Time> satisfied_at;
+  std::uint64_t satisfaction_index = 0;
+};
+
+struct RaymondOptions {
+  sim::Discipline discipline = sim::Discipline::kTimed;
+  std::unique_ptr<sim::DelayModel> delay;
+  std::uint64_t seed = 1;
+};
+
+class RaymondEngine {
+ public:
+  using Options = RaymondOptions;
+
+  // The tree must span the graph; messages travel only along tree edges
+  // (Raymond's model) and are charged with the shortest-path distance of
+  // that edge's endpoints, as in the Arvy engine.
+  RaymondEngine(const graph::Graph& g, const graph::RootedTree& tree,
+                Options options = {});
+
+  // Requests the token at v. Precondition: no outstanding request at v.
+  RequestId submit(NodeId v);
+  bool step() { return bus_.step(); }
+  void run_until_idle() { bus_.run_until_idle(); }
+  void run_sequential(std::span<const NodeId> sequence);
+
+  [[nodiscard]] const RaymondCosts& costs() const noexcept { return costs_; }
+  [[nodiscard]] const std::vector<RaymondRequestRecord>& requests()
+      const noexcept {
+    return requests_;
+  }
+  [[nodiscard]] std::size_t unsatisfied_count() const;
+  [[nodiscard]] std::optional<NodeId> token_holder() const;
+  [[nodiscard]] const RaymondNode& node(NodeId v) const;
+  [[nodiscard]] const sim::MessageBus<Message>& bus() const noexcept {
+    return bus_;
+  }
+  [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept {
+    return oracle_;
+  }
+
+  // Space audit: queue capacity is bounded by degree+1; returns the maximum
+  // queue length actually observed (words per node beyond holder/asked).
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept {
+    return max_queue_depth_;
+  }
+
+ private:
+  void on_delivery(const sim::MessageBus<Message>::InFlight& entry);
+  // Raymond's two rules, applied after every event at node v.
+  void assign_privilege(NodeId v);
+  void make_request(NodeId v);
+  void send(NodeId from, NodeId to, Message message);
+  void note_queue(NodeId v);
+
+  const graph::Graph* graph_;
+  graph::DistanceOracle oracle_;
+  sim::MessageBus<Message> bus_;
+  std::vector<RaymondNode> nodes_;
+  // Token possession: the node whose holder == itself AND token_present_
+  // (the token spends time in flight between hops).
+  bool token_in_flight_ = false;
+  RaymondCosts costs_;
+  std::vector<RaymondRequestRecord> requests_;
+  std::uint64_t satisfied_count_ = 0;
+  std::size_t max_queue_depth_ = 0;
+};
+
+}  // namespace arvy::raymond

@@ -1,0 +1,141 @@
+#include "runtime/actor_system.hpp"
+
+#include "support/assert.hpp"
+
+namespace arvy::runtime {
+
+ActorSystem::ActorSystem(const graph::Graph& g,
+                         const proto::InitialConfig& init,
+                         const proto::NewParentPolicy& policy, Options options)
+    : oracle_(g), options_(options) {
+  ARVY_EXPECTS(init.node_count() == g.node_count());
+  ARVY_EXPECTS(init.is_valid_tree());
+  oracle_.prewarm_all();  // all threads read the oracle concurrently
+
+  support::Rng seeder(options_.seed);
+  actors_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto actor = std::make_unique<NodeActor>();
+    actor->policy = policy.clone();
+    actor->rng = std::make_unique<support::Rng>(seeder.split());
+    actor->core = std::make_unique<proto::ArvyCore>(
+        v, actor->policy.get(), &oracle_, actor->rng.get());
+    actor->core->initialize(init.parent[v], v == init.root,
+                            init.parent_edge_is_bridge[v]);
+    actor->jitter_rng = seeder.split();
+    actors_.push_back(std::move(actor));
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    actors_[v]->thread = std::thread([this, v] { run_node(v); });
+  }
+}
+
+ActorSystem::~ActorSystem() {
+  if (!shut_down_) shutdown();
+}
+
+proto::RequestId ActorSystem::request(NodeId v) {
+  ARVY_EXPECTS(v < actors_.size());
+  ARVY_EXPECTS_MSG(!shut_down_, "request after shutdown");
+  const proto::RequestId id =
+      next_request_.fetch_add(1, std::memory_order_acq_rel);
+  Envelope envelope;
+  envelope.kind = Envelope::Kind::kRequest;
+  envelope.request = id;
+  actors_[v]->mailbox.push(std::move(envelope));
+  return id;
+}
+
+void ActorSystem::wait_for_satisfied(std::uint64_t count) {
+  std::unique_lock<std::mutex> lock(stats_mutex_);
+  satisfied_cv_.wait(lock, [this, count] {
+    return satisfied_.load(std::memory_order_acquire) >= count;
+  });
+}
+
+double ActorSystem::total_cost() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return find_cost_ + token_cost_;
+}
+
+double ActorSystem::find_cost() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return find_cost_;
+}
+
+void ActorSystem::shutdown() {
+  if (shut_down_) return;
+  for (auto& actor : actors_) actor->mailbox.close();
+  for (auto& actor : actors_) {
+    if (actor->thread.joinable()) actor->thread.join();
+  }
+  shut_down_ = true;
+}
+
+const proto::ArvyCore& ActorSystem::node(NodeId v) const {
+  ARVY_EXPECTS_MSG(shut_down_,
+                   "cores may only be inspected after shutdown (data race)");
+  ARVY_EXPECTS(v < actors_.size());
+  return *actors_[v]->core;
+}
+
+void ActorSystem::run_node(NodeId v) {
+  NodeActor& actor = *actors_[v];
+  auto next = [&]() {
+    return options_.reorder_mailboxes ? actor.mailbox.pop_random(actor.jitter_rng)
+                                      : actor.mailbox.pop();
+  };
+  while (auto envelope = next()) {
+    proto::Effects effects;
+    if (envelope->kind == Envelope::Kind::kRequest) {
+      if (actor.core->holds_token()) {
+        // Trivially satisfied at the holder, as in the simulator.
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          satisfied_.fetch_add(1, std::memory_order_acq_rel);
+        }
+        satisfied_cv_.notify_all();
+        continue;
+      }
+      effects = actor.core->request_token(envelope->request);
+    } else {
+      effects = actor.core->on_message(envelope->payload);
+    }
+    deliver_effects(v, std::move(effects), actor.jitter_rng);
+  }
+}
+
+void ActorSystem::deliver_effects(NodeId from, proto::Effects&& effects,
+                                  support::Rng& jitter_rng) {
+  if (effects.satisfied.has_value()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      satisfied_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    satisfied_cv_.notify_all();
+  }
+  for (proto::Outgoing& out : effects.sends) {
+    if (options_.max_jitter.count() > 0) {
+      const auto jitter = std::chrono::microseconds(
+          jitter_rng.next_below(
+              static_cast<std::uint64_t>(options_.max_jitter.count()) + 1));
+      std::this_thread::sleep_for(jitter);
+    }
+    const double distance = oracle_.distance(from, out.to);
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (proto::is_find(out.payload)) {
+        find_cost_ += distance;
+      } else {
+        token_cost_ += distance;
+      }
+    }
+    Envelope envelope;
+    envelope.kind = Envelope::Kind::kProtocol;
+    envelope.payload = std::move(out.payload);
+    envelope.from = from;
+    actors_[out.to]->mailbox.push(std::move(envelope));
+  }
+}
+
+}  // namespace arvy::runtime

@@ -1,0 +1,114 @@
+// A threaded actor runtime for the Arvy protocol family.
+//
+// One std::thread per node, each owning an ArvyCore and a Mailbox. This is
+// the "real asynchrony" counterpart of the discrete-event engine: message
+// interleavings come from the OS scheduler (optionally roughened with random
+// sender-side jitter), so experiment E13 exercises the paper's model outside
+// the simulator with the exact same protocol core.
+//
+// Threading contract:
+//  - each core is touched only by its node's thread;
+//  - the policy object is cloned per node; cores also get per-node RNGs;
+//  - the distance oracle is prewarmed before threads start and then only read;
+//  - cost/satisfaction accounting goes through one mutex-protected Stats.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/graph.hpp"
+#include "proto/core.hpp"
+#include "proto/init.hpp"
+#include "proto/policies.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace arvy::runtime {
+
+using graph::NodeId;
+
+struct ActorOptions {
+  std::uint64_t seed = 1;
+  // Random sleep in [0, max_jitter] before each message send; 0 disables.
+  std::chrono::microseconds max_jitter{0};
+  // Consume mailbox items in random order instead of FIFO: full asynchrony
+  // (the paper never assumes channel ordering).
+  bool reorder_mailboxes = false;
+};
+
+class ActorSystem {
+ public:
+  using Options = ActorOptions;
+
+  ActorSystem(const graph::Graph& g, const proto::InitialConfig& init,
+              const proto::NewParentPolicy& policy, Options options = {});
+  ~ActorSystem();
+
+  ActorSystem(const ActorSystem&) = delete;
+  ActorSystem& operator=(const ActorSystem&) = delete;
+
+  // Injects a token request at node v (processed on v's thread). The caller
+  // must respect the model's rule: do not request at a node whose previous
+  // request is still outstanding. Returns the request id.
+  proto::RequestId request(NodeId v);
+
+  // Blocks until at least `count` requests (cumulative) are satisfied.
+  void wait_for_satisfied(std::uint64_t count);
+
+  [[nodiscard]] std::uint64_t satisfied_count() const noexcept {
+    return satisfied_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t submitted_count() const noexcept {
+    return next_request_.load(std::memory_order_acquire) - 1;
+  }
+
+  // Total distance-weighted traffic so far (find + token).
+  [[nodiscard]] double total_cost() const;
+  [[nodiscard]] double find_cost() const;
+
+  // Stops all node threads. Callers should wait_for_satisfied first so the
+  // network is quiescent; pending mailbox items are still drained.
+  void shutdown();
+
+  // Post-shutdown inspection (threads joined, single-threaded again).
+  [[nodiscard]] const proto::ArvyCore& node(NodeId v) const;
+  [[nodiscard]] bool is_shut_down() const noexcept { return shut_down_; }
+
+ private:
+  struct Envelope {
+    enum class Kind { kRequest, kProtocol } kind = Kind::kProtocol;
+    proto::RequestId request = 0;   // kRequest
+    proto::Message payload;         // kProtocol
+    NodeId from = graph::kInvalidNode;
+  };
+
+  struct NodeActor {
+    std::unique_ptr<proto::NewParentPolicy> policy;
+    std::unique_ptr<support::Rng> rng;
+    std::unique_ptr<proto::ArvyCore> core;
+    Mailbox<Envelope> mailbox;
+    std::thread thread;
+    support::Rng jitter_rng{0};
+  };
+
+  void run_node(NodeId v);
+  void deliver_effects(NodeId from, proto::Effects&& effects,
+                       support::Rng& jitter_rng);
+
+  graph::DistanceOracle oracle_;
+  Options options_;
+  std::vector<std::unique_ptr<NodeActor>> actors_;
+
+  std::atomic<std::uint64_t> next_request_{1};
+  std::atomic<std::uint64_t> satisfied_{0};
+  mutable std::mutex stats_mutex_;
+  std::condition_variable satisfied_cv_;
+  double find_cost_ = 0.0;
+  double token_cost_ = 0.0;
+  bool shut_down_ = false;
+};
+
+}  // namespace arvy::runtime

@@ -1,0 +1,79 @@
+// A blocking multi-producer mailbox for the threaded runtime.
+//
+// The paper's network model only promises eventual delivery; a mutex +
+// condition-variable deque provides exactly that (plus per-sender FIFO,
+// which the protocol does not rely on - the simulator's adversarial
+// disciplines cover reordering).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "support/assert.hpp"
+
+namespace arvy::runtime {
+
+template <typename T>
+class Mailbox {
+ public:
+  // Enqueues an item; wakes one waiting consumer. Never blocks long (the
+  // queue is unbounded - protocol traffic per node is small and finite).
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ARVY_ASSERT_MSG(!closed_, "push to a closed mailbox");
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+  }
+
+  // Blocks until an item is available or the box is closed; nullopt on
+  // close-and-empty.
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Like pop, but takes a uniformly random queued item instead of the
+  // oldest: per-channel FIFO is an accident of the transport, not a protocol
+  // assumption, and this consumes messages in adversarially shuffled order
+  // (the threaded analogue of the simulator's kRandom discipline).
+  template <typename Rng>
+  [[nodiscard]] std::optional<T> pop_random(Rng& rng) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    const std::size_t index = rng.next_below(items_.size());
+    T item = std::move(items_[index]);
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(index));
+    return item;
+  }
+
+  // After close, pop drains remaining items and then returns nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace arvy::runtime

@@ -1,0 +1,220 @@
+// A generic asynchronous message bus for protocol simulation.
+//
+// The bus models the paper's network (§3): point-to-point messages between
+// arbitrary node pairs (routing is solved), arbitrary finite delays, no
+// loss, no duplication. It is templated on the message type so protocol
+// layers and substrate tests can each use their own payloads.
+//
+// Delivery order is controlled by a Discipline (see sim/delivery.hpp).
+// Whatever the discipline, every sent message is delivered exactly once
+// before the bus reports idle - the "reliable network" assumption.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/delivery.hpp"
+#include "sim/time.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::sim {
+
+using graph::NodeId;
+using MessageId = std::uint64_t;
+
+template <typename Msg>
+class MessageBus {
+ public:
+  struct InFlight {
+    MessageId id = 0;
+    NodeId from = graph::kInvalidNode;
+    NodeId to = graph::kInvalidNode;
+    Msg payload{};
+    Time sent_at = 0.0;
+    Time deliver_at = 0.0;
+    double distance = 0.0;
+  };
+
+  // Called when a message is delivered.
+  using Handler = std::function<void(const InFlight&)>;
+
+  struct Options {
+    Discipline discipline = Discipline::kTimed;
+    std::uint64_t seed = 1;
+    // Only used with Discipline::kTimed; defaults to the distance model.
+    std::unique_ptr<DelayModel> delay;
+    // Required for Discipline::kScripted: the delivery order to replay.
+    Schedule script;
+    // When true, every delivered message id is appended to schedule() -
+    // record under any discipline, replay under kScripted.
+    bool record_schedule = false;
+  };
+
+  explicit MessageBus(Options options)
+      : discipline_(options.discipline),
+        rng_(options.seed),
+        delay_(options.delay ? std::move(options.delay)
+                             : make_distance_delay()),
+        script_(std::move(options.script)),
+        record_schedule_(options.record_schedule) {
+    ARVY_EXPECTS(discipline_ != Discipline::kScripted || !script_.empty());
+  }
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Enqueues a message; `distance` is the shortest-path distance the message
+  // will traverse (cost accounting is the caller's concern; the bus uses it
+  // only for the timed delay model). Returns the message id.
+  MessageId send(NodeId from, NodeId to, Msg payload, double distance = 0.0) {
+    const MessageId id = next_id_++;
+    InFlight entry{id,  from, to, std::move(payload), now_,
+                   0.0, distance};
+    entry.deliver_at =
+        now_ + (discipline_ == Discipline::kTimed
+                    ? delay_->delay(from, to, distance, rng_)
+                    : 0.0);
+    timed_heap_.push({entry.deliver_at, id});
+    pending_.emplace(id, std::move(entry));
+    return id;
+  }
+
+  // Delivers one message per the discipline. Returns false when idle.
+  bool step() {
+    if (pending_.empty()) return false;
+    deliver_locked(pick_next());
+    return true;
+  }
+
+  // Delivers a specific in-flight message (used by scripted replays such as
+  // the Figure 1 trace).
+  void deliver(MessageId id) {
+    ARVY_EXPECTS_MSG(pending_.count(id) == 1, "unknown or delivered message");
+    deliver_locked(id);
+  }
+
+  // FAULT INJECTION: silently discards an in-flight message. This violates
+  // the model's reliability assumption (§3: "messages ... are never lost")
+  // on purpose - the negative tests use it to show the assumption is
+  // load-bearing (a lost find or token breaks liveness).
+  void drop(MessageId id) {
+    auto it = pending_.find(id);
+    ARVY_EXPECTS_MSG(it != pending_.end(), "unknown or delivered message");
+    pending_.erase(it);
+    ++dropped_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // The recorded delivery order (empty unless Options::record_schedule).
+  [[nodiscard]] const Schedule& schedule() const noexcept { return recorded_; }
+
+  // Runs until no message is in flight. `max_steps` guards against protocol
+  // bugs that would generate messages forever.
+  void run_until_idle(std::size_t max_steps = 10'000'000) {
+    std::size_t steps = 0;
+    while (step()) {
+      ARVY_ASSERT_MSG(++steps <= max_steps, "message bus failed to quiesce");
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
+
+  // Snapshot of in-flight messages in send order (stable ids). Used by the
+  // invariant checker to reconstruct red edges.
+  [[nodiscard]] std::vector<const InFlight*> pending() const {
+    std::vector<const InFlight*> out;
+    out.reserve(pending_.size());
+    for (const auto& [id, entry] : pending_) out.push_back(&entry);
+    return out;
+  }
+
+  // Advances the logical clock without delivering (used by drivers to space
+  // out request arrivals under the timed discipline).
+  void advance_time(Time to) {
+    ARVY_EXPECTS(to >= now_);
+    now_ = to;
+  }
+
+ private:
+  MessageId pick_next() {
+    ARVY_ASSERT(!pending_.empty());
+    switch (discipline_) {
+      case Discipline::kFifo:
+        return pending_.begin()->first;  // map is keyed by send order
+      case Discipline::kLifo:
+        return pending_.rbegin()->first;
+      case Discipline::kRandom: {
+        const auto index = rng_.next_below(pending_.size());
+        auto it = pending_.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(index));
+        return it->first;
+      }
+      case Discipline::kTimed: {
+        while (true) {
+          ARVY_ASSERT(!timed_heap_.empty());
+          const auto [at, id] = timed_heap_.top();
+          if (pending_.count(id) == 0) {
+            timed_heap_.pop();  // already delivered via deliver(id)
+            continue;
+          }
+          return id;
+        }
+      }
+      case Discipline::kScripted: {
+        ARVY_ASSERT_MSG(script_position_ < script_.size(),
+                        "replay schedule exhausted with messages pending");
+        const MessageId id = script_[script_position_++];
+        ARVY_ASSERT_MSG(pending_.count(id) == 1,
+                        "replay schedule does not match this run's sends");
+        return id;
+      }
+    }
+    ARVY_UNREACHABLE("bad discipline");
+  }
+
+  void deliver_locked(MessageId id) {
+    auto it = pending_.find(id);
+    ARVY_ASSERT(it != pending_.end());
+    InFlight entry = std::move(it->second);
+    pending_.erase(it);
+    now_ = std::max(now_, entry.deliver_at);
+    ++deliveries_;
+    if (record_schedule_) recorded_.push_back(id);
+    ARVY_ASSERT_MSG(handler_ != nullptr, "no handler installed");
+    handler_(entry);
+  }
+
+  Discipline discipline_;
+  support::Rng rng_;
+  std::unique_ptr<DelayModel> delay_;
+  Handler handler_;
+  std::map<MessageId, InFlight> pending_;  // keyed by send order
+  using HeapEntry = std::pair<Time, MessageId>;
+  struct HeapCompare {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {
+      // Earliest deliver_at first; ties broken by send order for determinism.
+      return a.first > b.first || (a.first == b.first && a.second > b.second);
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapCompare>
+      timed_heap_;
+  Schedule script_;
+  std::size_t script_position_ = 0;
+  bool record_schedule_ = false;
+  Schedule recorded_;
+  MessageId next_id_ = 1;
+  Time now_ = 0.0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace arvy::sim

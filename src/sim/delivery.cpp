@@ -1,0 +1,114 @@
+#include "sim/delivery.hpp"
+
+#include "support/assert.hpp"
+
+namespace arvy::sim {
+
+std::string_view discipline_name(Discipline d) noexcept {
+  switch (d) {
+    case Discipline::kTimed:
+      return "timed";
+    case Discipline::kFifo:
+      return "fifo";
+    case Discipline::kLifo:
+      return "lifo";
+    case Discipline::kRandom:
+      return "random";
+    case Discipline::kScripted:
+      return "scripted";
+  }
+  return "unknown";
+}
+
+namespace {
+
+class DistanceDelay final : public DelayModel {
+ public:
+  explicit DistanceDelay(double seconds_per_unit)
+      : seconds_per_unit_(seconds_per_unit) {
+    ARVY_EXPECTS(seconds_per_unit > 0.0);
+  }
+  Time delay(graph::NodeId, graph::NodeId, double distance,
+             support::Rng&) override {
+    return distance * seconds_per_unit_;
+  }
+  std::string_view name() const noexcept override { return "distance"; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<DistanceDelay>(*this);
+  }
+
+ private:
+  double seconds_per_unit_;
+};
+
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Time latency) : latency_(latency) {
+    ARVY_EXPECTS(latency >= 0.0);
+  }
+  Time delay(graph::NodeId, graph::NodeId, double, support::Rng&) override {
+    return latency_;
+  }
+  std::string_view name() const noexcept override { return "constant"; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<ConstantDelay>(*this);
+  }
+
+ private:
+  Time latency_;
+};
+
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Time lo, Time hi) : lo_(lo), hi_(hi) {
+    ARVY_EXPECTS(0.0 <= lo && lo < hi);
+  }
+  Time delay(graph::NodeId, graph::NodeId, double, support::Rng& rng) override {
+    return rng.next_double(lo_, hi_);
+  }
+  std::string_view name() const noexcept override { return "uniform"; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<UniformDelay>(*this);
+  }
+
+ private:
+  Time lo_;
+  Time hi_;
+};
+
+class ExponentialDelay final : public DelayModel {
+ public:
+  explicit ExponentialDelay(Time mean) : mean_(mean) {
+    ARVY_EXPECTS(mean > 0.0);
+  }
+  Time delay(graph::NodeId, graph::NodeId, double, support::Rng& rng) override {
+    return rng.next_exponential(mean_);
+  }
+  std::string_view name() const noexcept override { return "exponential"; }
+  std::unique_ptr<DelayModel> clone() const override {
+    return std::make_unique<ExponentialDelay>(*this);
+  }
+
+ private:
+  Time mean_;
+};
+
+}  // namespace
+
+std::unique_ptr<DelayModel> make_distance_delay(double seconds_per_unit) {
+  return std::make_unique<DistanceDelay>(seconds_per_unit);
+}
+
+std::unique_ptr<DelayModel> make_constant_delay(Time latency) {
+  return std::make_unique<ConstantDelay>(latency);
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(Time lo, Time hi) {
+  return std::make_unique<UniformDelay>(lo, hi);
+}
+
+std::unique_ptr<DelayModel> make_exponential_delay(Time mean) {
+  return std::make_unique<ExponentialDelay>(mean);
+}
+
+}  // namespace arvy::sim

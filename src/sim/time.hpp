@@ -1,0 +1,13 @@
+// Simulated time.
+//
+// The paper's model is fully asynchronous: message delays are arbitrary but
+// finite. Simulated time is therefore only a device for (a) ordering events
+// deterministically and (b) expressing workload arrival processes; no
+// protocol logic may depend on it.
+#pragma once
+
+namespace arvy::sim {
+
+using Time = double;
+
+}  // namespace arvy::sim

@@ -1,0 +1,24 @@
+#include "support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace arvy::support {
+
+[[noreturn]] void contract_failure(std::string_view kind, std::string_view expr,
+                                   std::string_view file, long line,
+                                   std::string_view message) {
+  std::fprintf(stderr, "arvy: %.*s violated: %.*s at %.*s:%ld",
+               static_cast<int>(kind.size()), kind.data(),
+               static_cast<int>(expr.size()), expr.data(),
+               static_cast<int>(file.size()), file.data(), line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " (%.*s)", static_cast<int>(message.size()),
+                 message.data());
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace arvy::support

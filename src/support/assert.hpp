@@ -1,0 +1,41 @@
+// Contract-checking macros for the Arvy library.
+//
+// All checks are enabled in every build type: the library is a research
+// artifact whose value is the trustworthiness of its measurements, so we
+// never trade away the precondition checks for speed. The hot paths (event
+// queue pops, distance lookups) were measured with checks on and the
+// overhead is below the noise floor of the experiments.
+#pragma once
+
+#include <string_view>
+
+namespace arvy::support {
+
+// Prints a diagnostic to stderr and aborts. Marked noreturn so the macros
+// below can be used in functions that must return a value on the happy path.
+[[noreturn]] void contract_failure(std::string_view kind, std::string_view expr,
+                                   std::string_view file, long line,
+                                   std::string_view message);
+
+}  // namespace arvy::support
+
+#define ARVY_CONTRACT_IMPL(kind, expr, msg)                                  \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]] {                                              \
+      ::arvy::support::contract_failure(kind, #expr, __FILE__, __LINE__,     \
+                                        msg);                                \
+    }                                                                        \
+  } while (false)
+
+// Precondition on the arguments of a function.
+#define ARVY_EXPECTS(expr) ARVY_CONTRACT_IMPL("precondition", expr, "")
+#define ARVY_EXPECTS_MSG(expr, msg) ARVY_CONTRACT_IMPL("precondition", expr, msg)
+
+// Postcondition / internal invariant.
+#define ARVY_ENSURES(expr) ARVY_CONTRACT_IMPL("postcondition", expr, "")
+#define ARVY_ASSERT(expr) ARVY_CONTRACT_IMPL("invariant", expr, "")
+#define ARVY_ASSERT_MSG(expr, msg) ARVY_CONTRACT_IMPL("invariant", expr, msg)
+
+// Marks unreachable code paths (e.g. exhaustive switch on an enum).
+#define ARVY_UNREACHABLE(msg)                                                \
+  ::arvy::support::contract_failure("unreachable", "-", __FILE__, __LINE__, msg)

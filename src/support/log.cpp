@@ -1,0 +1,33 @@
+#include "support/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace arvy::support {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+void log_line(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace arvy::support

@@ -1,0 +1,31 @@
+// Minimal leveled logging to stderr.
+//
+// The simulator and runtime are silent by default; tests and examples can
+// raise the level to watch protocol events. Not thread-safe beyond the
+// atomicity of the level itself: the threaded runtime serializes its own
+// log calls.
+#pragma once
+
+#include <atomic>
+#include <string_view>
+
+namespace arvy::support {
+
+enum class LogLevel : int { kOff = 0, kInfo = 1, kDebug = 2, kTrace = 3 };
+
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+[[nodiscard]] bool log_enabled(LogLevel level) noexcept;
+
+// printf-style logging; no-op when the level is filtered out.
+void log_line(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace arvy::support
+
+#define ARVY_LOG_INFO(...) \
+  ::arvy::support::log_line(::arvy::support::LogLevel::kInfo, __VA_ARGS__)
+#define ARVY_LOG_DEBUG(...) \
+  ::arvy::support::log_line(::arvy::support::LogLevel::kDebug, __VA_ARGS__)
+#define ARVY_LOG_TRACE(...) \
+  ::arvy::support::log_line(::arvy::support::LogLevel::kTrace, __VA_ARGS__)

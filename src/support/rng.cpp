@@ -1,0 +1,33 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arvy::support {
+
+double Rng::next_exponential(double mean) noexcept {
+  ARVY_EXPECTS(mean > 0.0);
+  // 1 - next_double() lies in (0, 1], so the log argument is never zero.
+  return -mean * std::log(1.0 - next_double());
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) {
+  ARVY_EXPECTS(n > 0);
+  ARVY_EXPECTS(alpha >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), alpha);
+    cdf_[rank] = total;
+  }
+  for (auto& value : cdf_) value /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the last bucket short
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace arvy::support

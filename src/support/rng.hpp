@@ -1,0 +1,146 @@
+// Deterministic pseudo-random number generation.
+//
+// Every randomized component of the library (delivery schedules, workload
+// generators, FRT embeddings, policy tie-breaking) draws from an explicitly
+// seeded `Rng` so that every experiment row and every failing test is
+// replayable from its printed seed. The generator is xoshiro256** seeded via
+// splitmix64, following the reference implementations by Blackman and Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arvy::support {
+
+// One step of the splitmix64 sequence; used for seeding and for cheap
+// stateless hashing of (seed, index) pairs.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality, 256-bit state, suitable for simulation.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  // method to avoid modulo bias.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept {
+    ARVY_EXPECTS(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    ARVY_EXPECTS(lo <= hi);
+    const auto range =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    // range == 0 means the full 64-bit range was requested.
+    const std::uint64_t draw = range == 0 ? (*this)() : next_below(range);
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+  }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double next_double(double lo, double hi) noexcept {
+    ARVY_EXPECTS(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  // Exponentially distributed double with the given mean (> 0).
+  [[nodiscard]] double next_exponential(double mean) noexcept;
+
+  // Bernoulli draw with success probability p in [0, 1].
+  [[nodiscard]] bool next_bool(double p) noexcept {
+    ARVY_EXPECTS(p >= 0.0 && p <= 1.0);
+    return next_double() < p;
+  }
+
+  // Uniformly chosen element of a non-empty span.
+  template <typename T>
+  [[nodiscard]] const T& pick(std::span<const T> items) noexcept {
+    ARVY_EXPECTS(!items.empty());
+    return items[next_below(items.size())];
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[next_below(i)]);
+    }
+  }
+
+  // A generator deterministically derived from this one; lets callers hand
+  // independent streams to sub-components without sharing state.
+  [[nodiscard]] Rng split() noexcept {
+    return Rng((*this)() ^ 0xd1b54a32d192ed03ULL);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Draws a Zipf-distributed rank in [0, n) with exponent `alpha` >= 0 using
+// inverse-CDF over precomputed weights; see ZipfSampler for repeated draws.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  [[nodiscard]] std::size_t sample(Rng& rng) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::span<const double> cdf() const noexcept { return cdf_; }
+  std::vector<double> cdf_;
+};
+
+}  // namespace arvy::support

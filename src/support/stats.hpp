@@ -1,0 +1,64 @@
+// Streaming and batch summary statistics used by the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace arvy::support {
+
+// Welford's online algorithm: numerically stable mean/variance in one pass,
+// constant space. Suitable for accumulating per-request costs in benches.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double variance() const noexcept;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  // Merges another accumulator into this one (parallel reduction friendly).
+  void merge(const StreamingStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Batch summary with percentiles; copies and sorts its input once.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+// Linear-interpolated percentile of a sorted sequence, q in [0, 1].
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted, double q);
+
+// Least-squares fit y ~ a + b*x; used by benches to report growth exponents
+// (e.g. cost vs log n). Returns {intercept, slope}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+};
+[[nodiscard]] LinearFit fit_linear(std::span<const double> x,
+                                   std::span<const double> y);
+
+}  // namespace arvy::support

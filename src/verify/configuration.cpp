@@ -1,0 +1,103 @@
+#include "verify/configuration.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arvy::verify {
+
+std::vector<NodeId> Configuration::waiting_set(NodeId u) const {
+  ARVY_EXPECTS(u < node_count());
+  std::vector<NodeId> out;
+  NodeId v = u;
+  while (next[v].has_value()) {
+    v = *next[v];
+    out.push_back(v);
+    ARVY_ASSERT_MSG(out.size() <= node_count(), "cycle in next pointers");
+  }
+  return out;
+}
+
+std::optional<NodeId> Configuration::previous(NodeId w) const {
+  ARVY_EXPECTS(w < node_count());
+  std::optional<NodeId> found;
+  for (NodeId u = 0; u < node_count(); ++u) {
+    if (next[u] == w) {
+      ARVY_ASSERT_MSG(!found.has_value(), "previous(w) is not unique");
+      found = u;
+    }
+  }
+  return found;
+}
+
+NodeId Configuration::top(NodeId v) const {
+  std::size_t guard = 0;
+  while (true) {
+    const std::optional<NodeId> prev = previous(v);
+    if (!prev.has_value()) return v;
+    v = *prev;
+    ARVY_ASSERT_MSG(++guard <= node_count(), "cycle in previous chain");
+  }
+}
+
+std::string Configuration::to_dot() const {
+  std::ostringstream os;
+  os << "digraph arvy {\n  rankdir=LR;\n";
+  for (NodeId v = 0; v < node_count(); ++v) {
+    os << "  n" << v << " [label=\"" << v;
+    if (next[v].has_value()) os << "\\nn=" << *next[v];
+    os << "\"";
+    if (token_at == v) os << ", shape=box, style=filled, fillcolor=gray";
+    os << "];\n";
+  }
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (parent[v] != v) {
+      os << "  n" << v << " -> n" << parent[v] << " [color=black];\n";
+    }
+  }
+  for (const RedEdge& r : red_edges) {
+    os << "  n" << r.tail << " -> n" << r.head
+       << " [color=red, label=\"find by " << r.producer << "\"];\n";
+  }
+  if (token_in_flight.has_value()) {
+    os << "  n" << token_in_flight->first << " -> n" << token_in_flight->second
+       << " [color=blue, style=dashed, label=\"token\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Configuration capture(const proto::SimEngine& engine) {
+  Configuration cfg;
+  const std::size_t n = engine.node_count();
+  cfg.parent.resize(n);
+  cfg.next.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const proto::ArvyCore& core = engine.node(v);
+    cfg.parent[v] = core.parent();
+    cfg.next[v] = core.next();
+    if (core.holds_token()) {
+      ARVY_ASSERT_MSG(!cfg.token_at.has_value(), "two token holders");
+      cfg.token_at = v;
+    }
+  }
+  for (const auto* entry : engine.bus().pending()) {
+    if (const auto* find = std::get_if<proto::FindMessage>(&entry->payload)) {
+      RedEdge red;
+      red.tail = entry->from;
+      red.head = entry->to;
+      red.producer = find->producer;
+      red.visited = find->visited;
+      cfg.red_edges.push_back(std::move(red));
+    } else {
+      ARVY_ASSERT_MSG(!cfg.token_in_flight.has_value(),
+                      "two tokens in flight");
+      cfg.token_in_flight = {entry->from, entry->to};
+    }
+  }
+  ARVY_ASSERT_MSG(cfg.token_at.has_value() != cfg.token_in_flight.has_value(),
+                  "token must be exactly one of held or in flight");
+  return cfg;
+}
+
+}  // namespace arvy::verify

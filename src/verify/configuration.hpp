@@ -1,0 +1,63 @@
+// Configuration snapshots (§5 of the paper).
+//
+// "The configuration of the system is the state of each node, the find
+// messages in transit and the location of the token." A Configuration is a
+// value type so tests can snapshot, compare (Lemma 1's commutativity), and
+// feed the invariant checker after every event.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "proto/engine.hpp"
+
+namespace arvy::verify {
+
+using graph::NodeId;
+
+// A red edge: a "find by prod" message in transit from tail to head, plus
+// the visited set the checker needs for Lemma 2's green-edge candidates.
+struct RedEdge {
+  NodeId tail = graph::kInvalidNode;
+  NodeId head = graph::kInvalidNode;
+  NodeId producer = graph::kInvalidNode;
+  std::vector<NodeId> visited;  // includes producer; order preserved
+
+  friend bool operator==(const RedEdge&, const RedEdge&) = default;
+};
+
+struct Configuration {
+  std::vector<NodeId> parent;               // p(v)
+  std::vector<std::optional<NodeId>> next;  // n(v)
+  std::vector<RedEdge> red_edges;
+  std::optional<NodeId> token_at;  // holder, or nullopt while in flight
+  std::optional<std::pair<NodeId, NodeId>> token_in_flight;
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return parent.size(); }
+
+  // waiting(u): nodes reachable from u via next pointers (§5). The walk is
+  // bounded by node_count, which Lemma 2 guarantees suffices (no cycles);
+  // the checker verifies that separately.
+  [[nodiscard]] std::vector<NodeId> waiting_set(NodeId u) const;
+
+  // previous(w): the unique u with n(u) == w, if any.
+  [[nodiscard]] std::optional<NodeId> previous(NodeId w) const;
+
+  // top(v): follow previous pointers from v to the chain's head (§5).
+  [[nodiscard]] NodeId top(NodeId v) const;
+
+  // Graphviz rendering: black parent edges, red in-transit finds, green
+  // next-pointer annotations, token marked - the visual language of Fig. 1.
+  [[nodiscard]] std::string to_dot() const;
+
+  friend bool operator==(const Configuration&, const Configuration&) = default;
+};
+
+// Captures the configuration of a running engine: node states plus the
+// in-flight find/token messages on the bus.
+[[nodiscard]] Configuration capture(const proto::SimEngine& engine);
+
+}  // namespace arvy::verify

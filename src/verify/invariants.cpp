@@ -1,0 +1,272 @@
+#include "verify/invariants.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::verify {
+
+namespace {
+
+using graph::DisjointSets;
+
+struct UndirectedEdge {
+  NodeId a;
+  NodeId b;
+};
+
+// Black edges without self-loops.
+std::vector<UndirectedEdge> black_edges(const Configuration& cfg) {
+  std::vector<UndirectedEdge> out;
+  for (NodeId v = 0; v < cfg.node_count(); ++v) {
+    if (cfg.parent[v] != v) out.push_back({v, cfg.parent[v]});
+  }
+  return out;
+}
+
+// Tree test over n nodes: exactly n-1 edges and no cycle (which then implies
+// connectivity).
+CheckResult directionless_tree(std::size_t n,
+                               const std::vector<UndirectedEdge>& edges,
+                               const char* label) {
+  if (edges.size() != n - 1) {
+    std::ostringstream os;
+    os << label << ": " << edges.size() << " edges for " << n
+       << " nodes (want n-1)";
+    return CheckResult::fail(os.str());
+  }
+  DisjointSets dsu(n);
+  for (const UndirectedEdge& e : edges) {
+    if (!dsu.unite(e.a, e.b)) {
+      std::ostringstream os;
+      os << label << ": cycle through edge {" << e.a << ", " << e.b << "}";
+      return CheckResult::fail(os.str());
+    }
+  }
+  ARVY_ASSERT(dsu.set_count() == 1);  // n-1 acyclic edges connect everything
+  return CheckResult::pass();
+}
+
+// Green-edge candidate endpoints for a red edge: visited(r) ∪ waiting(prod).
+std::vector<NodeId> green_candidates(const Configuration& cfg,
+                                     const RedEdge& red) {
+  std::vector<NodeId> candidates = red.visited;
+  for (NodeId w : cfg.waiting_set(red.producer)) {
+    if (std::find(candidates.begin(), candidates.end(), w) ==
+        candidates.end()) {
+      candidates.push_back(w);
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+CheckResult check_br_tree(const Configuration& cfg) {
+  std::vector<UndirectedEdge> edges = black_edges(cfg);
+  for (const RedEdge& r : cfg.red_edges) edges.push_back({r.tail, r.head});
+  return directionless_tree(cfg.node_count(), edges, "BR");
+}
+
+CheckResult check_bg_trees(const Configuration& cfg,
+                           const InvariantOptions& options) {
+  const std::vector<UndirectedEdge> blacks = black_edges(cfg);
+  const std::size_t reds = cfg.red_edges.size();
+  if (reds == 0) {
+    return directionless_tree(cfg.node_count(), blacks, "BG");
+  }
+
+  std::vector<std::vector<NodeId>> candidates(reds);
+  std::size_t combinations = 1;
+  bool overflow = false;
+  for (std::size_t i = 0; i < reds; ++i) {
+    candidates[i] = green_candidates(cfg, cfg.red_edges[i]);
+    ARVY_ASSERT(!candidates[i].empty());
+    if (combinations > options.max_bg_combinations / candidates[i].size()) {
+      overflow = true;
+    }
+    combinations *= candidates[i].size();
+    if (overflow) break;
+  }
+
+  auto check_choice = [&](const std::vector<std::size_t>& choice) {
+    std::vector<UndirectedEdge> edges = blacks;
+    for (std::size_t i = 0; i < reds; ++i) {
+      edges.push_back(
+          {cfg.red_edges[i].head, candidates[i][choice[i]]});
+    }
+    CheckResult result = directionless_tree(cfg.node_count(), edges, "BG");
+    if (!result.ok) {
+      std::ostringstream os;
+      os << result.detail << " [green choice:";
+      for (std::size_t i = 0; i < reds; ++i) {
+        os << " r" << i << "->" << candidates[i][choice[i]];
+      }
+      os << "]";
+      result.detail = os.str();
+    }
+    return result;
+  };
+
+  std::vector<std::size_t> choice(reds, 0);
+  if (!overflow && combinations <= options.max_bg_combinations) {
+    // Odometer enumeration of the full product space.
+    while (true) {
+      if (CheckResult r = check_choice(choice); !r.ok) return r;
+      std::size_t i = 0;
+      for (; i < reds; ++i) {
+        if (++choice[i] < candidates[i].size()) break;
+        choice[i] = 0;
+      }
+      if (i == reds) break;
+    }
+    return CheckResult::pass();
+  }
+
+  // Sampled mode for configurations with too many combinations. Always
+  // include the two structured corners (all-Arrow-like tails, all
+  // producers) plus uniform samples.
+  support::Rng rng(options.sample_seed);
+  for (std::size_t s = 0; s < options.samples_when_large; ++s) {
+    for (std::size_t i = 0; i < reds; ++i) {
+      if (s == 0) {
+        choice[i] = candidates[i].size() - 1;  // latest visited
+      } else if (s == 1) {
+        choice[i] = 0;  // the producer
+      } else {
+        choice[i] = rng.next_below(candidates[i].size());
+      }
+    }
+    if (CheckResult r = check_choice(choice); !r.ok) return r;
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_source_components(const Configuration& cfg) {
+  if (CheckResult r = check_br_tree(cfg); !r.ok) return r;
+  const std::vector<UndirectedEdge> blacks = black_edges(cfg);
+  for (std::size_t skip = 0; skip < cfg.red_edges.size(); ++skip) {
+    // Components of the BR tree with red edge `skip` removed.
+    DisjointSets dsu(cfg.node_count());
+    for (const UndirectedEdge& e : blacks) dsu.unite(e.a, e.b);
+    for (std::size_t i = 0; i < cfg.red_edges.size(); ++i) {
+      if (i != skip) dsu.unite(cfg.red_edges[i].tail, cfg.red_edges[i].head);
+    }
+    const RedEdge& red = cfg.red_edges[skip];
+    const std::size_t source = dsu.find(red.tail);
+    ARVY_ASSERT_MSG(dsu.find(red.head) != source,
+                    "red edge endpoints merged without the edge");
+    auto expect_in_source = [&](NodeId q, const char* role) -> CheckResult {
+      if (dsu.find(q) != source) {
+        std::ostringstream os;
+        os << "L2.3: " << role << " node " << q << " of find by "
+           << red.producer << " lies in dst(" << red.tail << "->" << red.head
+           << ")";
+        return CheckResult::fail(os.str());
+      }
+      return CheckResult::pass();
+    };
+    for (NodeId q : red.visited) {
+      if (CheckResult r = expect_in_source(q, "visited"); !r.ok) return r;
+    }
+    for (NodeId q : cfg.waiting_set(red.producer)) {
+      if (CheckResult r = expect_in_source(q, "waiting"); !r.ok) return r;
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_token(const Configuration& cfg) {
+  if (cfg.token_at.has_value() == cfg.token_in_flight.has_value()) {
+    return CheckResult::fail(
+        "token must be exactly one of: held by a node, in flight");
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_next_chains(const Configuration& cfg) {
+  // previous(w) unique: no two nodes point their next at the same target.
+  std::vector<int> indegree(cfg.node_count(), 0);
+  for (NodeId u = 0; u < cfg.node_count(); ++u) {
+    if (cfg.next[u].has_value()) {
+      if (*cfg.next[u] == u) {
+        return CheckResult::fail("next self-reference at node " +
+                                 std::to_string(u));
+      }
+      if (++indegree[*cfg.next[u]] > 1) {
+        return CheckResult::fail("two nodes waiting-chain into node " +
+                                 std::to_string(*cfg.next[u]));
+      }
+    }
+  }
+  // Acyclicity: walk each chain with a step budget of n.
+  for (NodeId u = 0; u < cfg.node_count(); ++u) {
+    NodeId v = u;
+    std::size_t steps = 0;
+    while (cfg.next[v].has_value()) {
+      v = *cfg.next[v];
+      if (++steps > cfg.node_count()) {
+        return CheckResult::fail("cycle in next chain starting at node " +
+                                 std::to_string(u));
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_node_states(const Configuration& cfg) {
+  for (NodeId v = 0; v < cfg.node_count(); ++v) {
+    const bool l = cfg.parent[v] == v;
+    const bool t = cfg.token_at == v;
+    const bool n = cfg.next[v].has_value();
+    // Reachable states (Lemma 3): {L,T}, {}, {T,N}, {L}, {N}.
+    const bool reachable = (l && t && !n) || (!l && !t && !n) ||
+                           (!l && t && n) || (l && !t && !n) ||
+                           (!l && !t && n);
+    if (!reachable) {
+      std::ostringstream os;
+      os << "node " << v << " in unreachable state {" << (l ? "L" : "")
+         << (t ? "T" : "") << (n ? "N" : "") << "}";
+      return CheckResult::fail(os.str());
+    }
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_top_progress(const Configuration& cfg) {
+  for (NodeId w = 0; w < cfg.node_count(); ++w) {
+    if (cfg.parent[w] != w) continue;           // no self-loop
+    const NodeId top = cfg.top(w);
+    if (cfg.token_at == top) continue;          // top holds the token
+    if (cfg.token_in_flight.has_value() &&
+        cfg.token_in_flight->second == top) {
+      continue;  // the token was already sent to top
+    }
+    const bool find_in_network = std::any_of(
+        cfg.red_edges.begin(), cfg.red_edges.end(),
+        [top](const RedEdge& r) { return r.producer == top; });
+    if (find_in_network) continue;
+    std::ostringstream os;
+    os << "Lemma 3: top(" << w << ") = " << top
+       << " has neither the token, nor a token in flight, nor a find in "
+          "the network (orphaned waiting chain)";
+    return CheckResult::fail(os.str());
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_all(const Configuration& cfg,
+                      const InvariantOptions& options) {
+  if (CheckResult r = check_token(cfg); !r.ok) return r;
+  if (CheckResult r = check_next_chains(cfg); !r.ok) return r;
+  if (CheckResult r = check_node_states(cfg); !r.ok) return r;
+  if (CheckResult r = check_top_progress(cfg); !r.ok) return r;
+  if (CheckResult r = check_br_tree(cfg); !r.ok) return r;
+  if (CheckResult r = check_source_components(cfg); !r.ok) return r;
+  if (CheckResult r = check_bg_trees(cfg, options); !r.ok) return r;
+  return CheckResult::pass();
+}
+
+}  // namespace arvy::verify

@@ -1,0 +1,69 @@
+// Machine-checkable forms of the paper's Lemma 2 invariants.
+//
+// These checks are the heart of the reproduction of the correctness result
+// (§5): the property tests run them after *every* event of randomized
+// concurrent executions. A configuration that passed check_all satisfies
+// exactly the three parts of Lemma 2 plus the bookkeeping facts the proofs
+// of Lemma 3 / Theorems 4-5 rely on (unique token, acyclic next chains).
+#pragma once
+
+#include <string>
+
+#include "verify/configuration.hpp"
+
+namespace arvy::verify {
+
+struct CheckResult {
+  bool ok = true;
+  std::string detail;  // human-readable failure description
+
+  static CheckResult pass() { return {}; }
+  static CheckResult fail(std::string why) { return {false, std::move(why)}; }
+  explicit operator bool() const noexcept { return ok; }
+};
+
+struct InvariantOptions {
+  // Exhaustively enumerate BG graphs when the combination count is at most
+  // this; otherwise check a random sample of combinations.
+  std::size_t max_bg_combinations = 4096;
+  std::size_t samples_when_large = 256;
+  std::uint64_t sample_seed = 1;
+};
+
+// Lemma 2.1: black edges (minus self-loops) plus red edges form a
+// directionless tree.
+[[nodiscard]] CheckResult check_br_tree(const Configuration& cfg);
+
+// Lemma 2.2: replacing every red edge r by any green edge (head(r), x) with
+// x in visited(r) or waiting(prod(r)) yields a directionless tree, for every
+// combination of choices.
+[[nodiscard]] CheckResult check_bg_trees(const Configuration& cfg,
+                                         const InvariantOptions& options = {});
+
+// Lemma 2.3: visited(r) and waiting(prod(r)) lie in the source component of
+// r within the BR tree.
+[[nodiscard]] CheckResult check_source_components(const Configuration& cfg);
+
+// Exactly one token (held or in flight); a held token implies no token
+// message on the wire.
+[[nodiscard]] CheckResult check_token(const Configuration& cfg);
+
+// next pointers form vertex-disjoint simple chains (previous is unique and
+// the chains are acyclic) - the structure behind top()/Lemma 3.
+[[nodiscard]] CheckResult check_next_chains(const Configuration& cfg);
+
+// Lemma 3's reachable node states: S(v) as a subset of {L, T, N} must be one
+// of {L,T}, {}, {T,N}, {L}, {N}.
+[[nodiscard]] CheckResult check_node_states(const Configuration& cfg);
+
+// Lemma 3's conclusion, the progress fact behind Theorem 5: for every node
+// w with a self-loop, w' = top(w) (the head of w's previous-chain) either
+// holds the token, or the token is in flight to w', or a "find by w'" is
+// still in the network. Without this, a waiting chain could be orphaned.
+[[nodiscard]] CheckResult check_top_progress(const Configuration& cfg);
+
+// All of the above; stops at the first failure.
+[[nodiscard]] CheckResult check_all(const Configuration& cfg,
+                                    const InvariantOptions& options = {});
+
+}  // namespace arvy::verify

@@ -1,0 +1,62 @@
+#include "verify/liveness.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace arvy::verify {
+
+CheckResult audit_liveness(const proto::SimEngine& engine) {
+  if (!engine.bus().idle()) {
+    return CheckResult::fail("audit requires a quiescent network");
+  }
+  const auto& requests = engine.requests();
+  std::vector<std::uint64_t> order;
+  order.reserve(requests.size());
+  std::map<graph::NodeId, std::vector<const proto::RequestRecord*>> per_node;
+  for (const proto::RequestRecord& r : requests) {
+    if (!r.satisfied_at.has_value()) {
+      std::ostringstream os;
+      os << "request " << r.id << " by node " << r.node
+         << " never satisfied (Theorem 5 violation)";
+      return CheckResult::fail(os.str());
+    }
+    if (*r.satisfied_at < r.submitted) {
+      std::ostringstream os;
+      os << "request " << r.id << " satisfied before submission";
+      return CheckResult::fail(os.str());
+    }
+    order.push_back(r.satisfaction_index);
+    per_node[r.node].push_back(&r);
+  }
+  // Satisfaction indices must form a permutation of 1..k: each request
+  // satisfied exactly once, none skipped.
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i + 1) {
+      return CheckResult::fail(
+          "satisfaction order is not a permutation of 1..k");
+    }
+  }
+  // The one-outstanding-per-node model: a node's requests must not overlap
+  // in time. The single exception is §3's queueing remark: requests parked
+  // behind an outstanding one are satisfied by the same token visit, which
+  // shows up as identical satisfaction times. Requests are recorded in
+  // submission order.
+  for (const auto& [node, list] : per_node) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      const bool overlapping = list[i]->submitted < *list[i - 1]->satisfied_at;
+      const bool one_fell_swoop =
+          *list[i]->satisfied_at == *list[i - 1]->satisfied_at;
+      if (overlapping && !one_fell_swoop) {
+        std::ostringstream os;
+        os << "node " << node << " had two overlapping outstanding requests";
+        return CheckResult::fail(os.str());
+      }
+    }
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace arvy::verify

@@ -1,0 +1,17 @@
+// Liveness auditing: Theorem 5 ("every token request is satisfied").
+//
+// After an execution quiesces, the audit verifies that every submitted
+// request was satisfied exactly once, that satisfaction order is a
+// permutation, and that no node ever overlapped two outstanding requests.
+#pragma once
+
+#include "proto/engine.hpp"
+#include "verify/invariants.hpp"
+
+namespace arvy::verify {
+
+// Requires: the engine's bus is idle. Checks Theorem 5's conclusion for the
+// recorded request log.
+[[nodiscard]] CheckResult audit_liveness(const proto::SimEngine& engine);
+
+}  // namespace arvy::verify

@@ -1,0 +1,79 @@
+#include "verify/state_machine.hpp"
+
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arvy::verify {
+
+NodeState classify(const Configuration& cfg, NodeId v) {
+  const bool l = cfg.parent[v] == v;
+  const bool t = cfg.token_at == v;
+  const bool n = cfg.next[v].has_value();
+  if (l && t && !n) return NodeState::kLT;
+  if (!l && !t && !n) return NodeState::kIdle;
+  if (l && !t && !n) return NodeState::kL;
+  if (!l && !t && n) return NodeState::kN;
+  if (!l && t && n) return NodeState::kTN;
+  return NodeState::kUnreachable;
+}
+
+const char* node_state_name(NodeState s) noexcept {
+  switch (s) {
+    case NodeState::kIdle:
+      return "{}";
+    case NodeState::kL:
+      return "{L}";
+    case NodeState::kN:
+      return "{N}";
+    case NodeState::kLT:
+      return "{L,T}";
+    case NodeState::kTN:
+      return "{T,N}";
+    case NodeState::kUnreachable:
+      return "unreachable";
+  }
+  return "?";
+}
+
+StateMachineAudit::StateMachineAudit(const Configuration& initial) {
+  states_.reserve(initial.node_count());
+  for (NodeId v = 0; v < initial.node_count(); ++v) {
+    const NodeState s = classify(initial, v);
+    ARVY_EXPECTS_MSG(s == NodeState::kLT || s == NodeState::kIdle,
+                     "initial states must be {L,T} or {} (paper §5)");
+    states_.push_back(s);
+  }
+}
+
+CheckResult StateMachineAudit::observe(const Configuration& next) {
+  ARVY_EXPECTS(next.node_count() == states_.size());
+  std::size_t changed = 0;
+  for (NodeId v = 0; v < next.node_count(); ++v) {
+    const NodeState before = states_[v];
+    const NodeState after = classify(next, v);
+    if (before == after) continue;
+    ++changed;
+    ++transitions_;
+    const bool legal =
+        (before == NodeState::kIdle && after == NodeState::kL) ||
+        (before == NodeState::kL && after == NodeState::kN) ||
+        (before == NodeState::kL && after == NodeState::kLT) ||
+        (before == NodeState::kN && after == NodeState::kIdle) ||
+        (before == NodeState::kLT && after == NodeState::kIdle);
+    if (!legal) {
+      std::ostringstream os;
+      os << "illegal node-state transition at node " << v << ": "
+         << node_state_name(before) << " -> " << node_state_name(after);
+      return CheckResult::fail(os.str());
+    }
+    states_[v] = after;
+  }
+  if (changed > 1) {
+    return CheckResult::fail(
+        "more than one node changed letter-state in a single event");
+  }
+  return CheckResult::pass();
+}
+
+}  // namespace arvy::verify

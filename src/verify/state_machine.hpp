@@ -1,0 +1,53 @@
+// Lemma 3's node-state machine, checked over observed executions.
+//
+// The paper describes each node's state as a subset of {L, T, N} (self-loop,
+// token, next-pointer set) and argues only five states are reachable. Our
+// engine additionally fuses SendToken into the event that triggers it (as
+// Algorithm 1's pseudocode does), so the observable post-event transitions
+// per node are exactly:
+//
+//   {}    -> {L}     request token
+//   {L}   -> {N}     a find terminates at a waiting requester
+//   {L}   -> {L,T}   the token arrives and is kept
+//   {N}   -> {}      the token arrives and is forwarded on
+//   {L,T} -> {}      a find terminates at the idle holder, token leaves
+//   s     -> s       find forwarding (only p(v)'s target changes)
+//
+// One event changes at most one node's letter-state. The audit consumes a
+// stream of configurations and validates every step against this diagram.
+#pragma once
+
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace arvy::verify {
+
+enum class NodeState : unsigned char {
+  kIdle,       // {}
+  kL,          // {L}   outstanding request, find not yet terminated
+  kN,          // {N}   outstanding request, queued behind another node
+  kLT,         // {L,T} holds the token
+  kTN,         // {T,N} transient in the paper's event model; never observed
+  kUnreachable
+};
+
+[[nodiscard]] NodeState classify(const Configuration& cfg, NodeId v);
+[[nodiscard]] const char* node_state_name(NodeState s) noexcept;
+
+class StateMachineAudit {
+ public:
+  explicit StateMachineAudit(const Configuration& initial);
+
+  // Validates the transition from the previously observed configuration.
+  [[nodiscard]] CheckResult observe(const Configuration& next);
+
+  [[nodiscard]] std::uint64_t transitions_seen() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  std::vector<NodeState> states_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace arvy::verify

@@ -1,0 +1,56 @@
+#include "workload/adversarial.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arvy::workload {
+
+std::vector<NodeId> arrow_worst_alternation(const graph::Graph& g,
+                                            const graph::RootedTree& tree,
+                                            std::size_t length) {
+  const graph::StretchReport report = max_stretch_pair(g, tree);
+  ARVY_ASSERT(report.a != graph::kInvalidNode);
+  return alternating_sequence(report.a, report.b, length);
+}
+
+std::vector<NodeId> ivy_ring_sweep(std::size_t node_count) {
+  ARVY_EXPECTS(node_count >= 3);
+  std::vector<NodeId> out(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    out[i] = static_cast<NodeId>(i);
+  }
+  return out;
+}
+
+namespace {
+
+// S = sum of ring distances from v_1 (0-based node 0) to the interior sweep
+// targets v_2..v_{n-1}.
+double sweep_distance_sum(std::size_t n) {
+  double s = 0.0;
+  for (std::size_t j = 1; j + 1 < n; ++j) {
+    s += static_cast<double>(std::min(j, n - j));
+  }
+  return s;
+}
+
+}  // namespace
+
+double ivy_sweep_find_cost(std::size_t node_count) {
+  ARVY_EXPECTS(node_count >= 3);
+  return static_cast<double>(node_count) + 2.0 * sweep_distance_sum(node_count);
+}
+
+double ivy_sweep_total_cost(std::size_t node_count) {
+  ARVY_EXPECTS(node_count >= 3);
+  return 2.0 * static_cast<double>(node_count) +
+         2.0 * sweep_distance_sum(node_count);
+}
+
+double ivy_sweep_opt(std::size_t node_count) {
+  ARVY_EXPECTS(node_count >= 3);
+  return static_cast<double>(node_count);
+}
+
+}  // namespace arvy::workload

@@ -1,0 +1,38 @@
+// The adversarial request sequences behind the paper's lower bounds
+// (Lemma 8 and the §2 discussion of Arrow's tree dependence).
+#pragma once
+
+#include "graph/spanning_tree.hpp"
+#include "workload/workload.hpp"
+
+namespace arvy::workload {
+
+// Lemma 8 (Arrow): a spanning tree of a ring has a pair with stretch
+// Omega(n); alternating requests across that pair cost Arrow the tree path
+// every time while OPT pays the ring distance. Returns the alternating
+// sequence for the worst-stretch pair of `tree` in `g`.
+[[nodiscard]] std::vector<NodeId> arrow_worst_alternation(
+    const graph::Graph& g, const graph::RootedTree& tree, std::size_t length);
+
+// Lemma 8 (Ivy): with the chain tree rooted at v_n, the sweep
+// v_1, v_2, ..., v_n costs Ivy Theta(n^2) while OPT pays n. Node ids are
+// 0-based: the sweep is 0, 1, ..., n-1 and the initial tree must be
+// proto::chain_config(n).
+[[nodiscard]] std::vector<NodeId> ivy_ring_sweep(std::size_t node_count);
+
+// Exact costs of the sweep on a unit ring of n >= 3 nodes under our
+// simulator's accounting, with S = sum_{j=1}^{n-2} min(j, n-j) (the sum of
+// ring distances d(v_1, v_i) for 2 <= i <= n-1, Theta(n^2)):
+//   find traffic only:      n + 2S
+//   find + token traffic:   2n + 2S
+// The paper states n + 2*sum - 1 with its own (find-oriented) edge-count
+// argument; the Theta(n^2) growth and the Omega(n) ratio are identical.
+// Tests assert the simulator reproduces these numbers *exactly*.
+[[nodiscard]] double ivy_sweep_find_cost(std::size_t node_count);
+[[nodiscard]] double ivy_sweep_total_cost(std::size_t node_count);
+
+// OPT for the sweep: every request is one ring hop from the token, so
+// OPT(sigma) = n (the paper's figure).
+[[nodiscard]] double ivy_sweep_opt(std::size_t node_count);
+
+}  // namespace arvy::workload

@@ -1,0 +1,115 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/shortest_paths.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::workload {
+
+std::vector<NodeId> uniform_sequence(std::size_t node_count,
+                                     std::size_t length, support::Rng& rng,
+                                     bool avoid_repeats) {
+  ARVY_EXPECTS(node_count >= 2);
+  std::vector<NodeId> out;
+  out.reserve(length);
+  while (out.size() < length) {
+    const auto v = static_cast<NodeId>(rng.next_below(node_count));
+    if (avoid_repeats && !out.empty() && out.back() == v) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> zipf_sequence(std::size_t node_count, std::size_t length,
+                                  double alpha, support::Rng& rng) {
+  ARVY_EXPECTS(node_count >= 2);
+  support::ZipfSampler sampler(node_count, alpha);
+  // Shuffle rank -> node so popularity is independent of the labelling
+  // (node ids often encode position in generated topologies).
+  std::vector<NodeId> relabel(node_count);
+  std::iota(relabel.begin(), relabel.end(), NodeId{0});
+  rng.shuffle(std::span<NodeId>(relabel));
+  std::vector<NodeId> out;
+  out.reserve(length);
+  while (out.size() < length) {
+    const NodeId v = relabel[sampler.sample(rng)];
+    if (!out.empty() && out.back() == v) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> round_robin_sequence(std::size_t node_count,
+                                         std::size_t length) {
+  ARVY_EXPECTS(node_count >= 2);
+  std::vector<NodeId> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<NodeId>(i % node_count));
+  }
+  return out;
+}
+
+std::vector<NodeId> alternating_sequence(NodeId a, NodeId b,
+                                         std::size_t length) {
+  ARVY_EXPECTS(a != b);
+  std::vector<NodeId> out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(i % 2 == 0 ? a : b);
+  }
+  return out;
+}
+
+std::vector<NodeId> local_walk_sequence(const graph::Graph& g,
+                                        std::size_t length,
+                                        std::uint32_t hop_radius,
+                                        support::Rng& rng) {
+  ARVY_EXPECTS(g.node_count() >= 2);
+  ARVY_EXPECTS(hop_radius >= 1);
+  std::vector<NodeId> out;
+  out.reserve(length);
+  auto current = static_cast<NodeId>(rng.next_below(g.node_count()));
+  out.push_back(current);
+  while (out.size() < length) {
+    const std::vector<std::uint32_t> hops = bfs_hops(g, current);
+    std::vector<NodeId> near;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v != current && hops[v] <= hop_radius) near.push_back(v);
+    }
+    ARVY_ASSERT(!near.empty());  // connected graph, radius >= 1
+    current = rng.pick(std::span<const NodeId>(near));
+    out.push_back(current);
+  }
+  return out;
+}
+
+std::vector<proto::SimEngine::TimedRequest> poisson_arrivals(
+    std::size_t node_count, std::size_t count, double rate,
+    support::Rng& rng) {
+  ARVY_EXPECTS(count <= node_count);
+  ARVY_EXPECTS(rate > 0.0);
+  std::vector<NodeId> nodes(node_count);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  rng.shuffle(std::span<NodeId>(nodes));
+  nodes.resize(count);
+  std::vector<proto::SimEngine::TimedRequest> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (NodeId v : nodes) {
+    t += rng.next_exponential(1.0 / rate);
+    out.push_back({v, t});
+  }
+  return out;
+}
+
+std::vector<proto::SimEngine::TimedRequest> burst(std::vector<NodeId> nodes) {
+  std::vector<proto::SimEngine::TimedRequest> out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) out.push_back({v, 0.0});
+  return out;
+}
+
+}  // namespace arvy::workload

@@ -1,0 +1,58 @@
+// Request-sequence generators.
+//
+// A workload is either a plain node sequence (sequential semantics: each
+// request is issued after the previous one is satisfied, the §6 model) or a
+// timed set of requests (concurrent semantics, the §5 model).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "proto/engine.hpp"
+#include "support/rng.hpp"
+
+namespace arvy::workload {
+
+using graph::NodeId;
+
+// Uniformly random nodes; consecutive repeats are skipped when
+// `avoid_repeats` (a repeat request is free for every protocol and only
+// dilutes ratio measurements).
+[[nodiscard]] std::vector<NodeId> uniform_sequence(std::size_t node_count,
+                                                   std::size_t length,
+                                                   support::Rng& rng,
+                                                   bool avoid_repeats = true);
+
+// Zipf-distributed node popularity with exponent alpha (hotspot traffic);
+// node identities are shuffled so the hot nodes are not metrically adjacent.
+[[nodiscard]] std::vector<NodeId> zipf_sequence(std::size_t node_count,
+                                                std::size_t length,
+                                                double alpha,
+                                                support::Rng& rng);
+
+// Round-robin sweep 0, 1, ..., n-1, 0, 1, ... of the given length.
+[[nodiscard]] std::vector<NodeId> round_robin_sequence(std::size_t node_count,
+                                                       std::size_t length);
+
+// a, b, a, b, ... of the given length.
+[[nodiscard]] std::vector<NodeId> alternating_sequence(NodeId a, NodeId b,
+                                                       std::size_t length);
+
+// Random-walk locality: the next requester is a node within `hop_radius`
+// hops of the previous one (models producer-consumer locality).
+[[nodiscard]] std::vector<NodeId> local_walk_sequence(const graph::Graph& g,
+                                                      std::size_t length,
+                                                      std::uint32_t hop_radius,
+                                                      support::Rng& rng);
+
+// Poisson arrivals with the given rate over distinct random nodes (each node
+// requests at most once, so the model's one-outstanding-per-node rule can
+// never be violated regardless of delays). count <= node_count.
+[[nodiscard]] std::vector<proto::SimEngine::TimedRequest> poisson_arrivals(
+    std::size_t node_count, std::size_t count, double rate, support::Rng& rng);
+
+// All of `nodes` request at once (a burst); time 0.
+[[nodiscard]] std::vector<proto::SimEngine::TimedRequest> burst(
+    std::vector<NodeId> nodes);
+
+}  // namespace arvy::workload

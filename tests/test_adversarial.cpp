@@ -1,0 +1,138 @@
+// Experiment E5/E6 verification at test scale: the Lemma 8 lower-bound
+// constructions, including an *exact* closed-form match for Ivy's sweep.
+#include <gtest/gtest.h>
+
+#include "analysis/competitive.hpp"
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "workload/adversarial.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(IvySweep, SimulatorMatchesClosedFormExactly) {
+  // Lemma 8's Ivy instance: unit ring, chain tree rooted at v_n, sweep
+  // v_1..v_n. Our accounting (find and find+token) must match the closed
+  // forms in workload/adversarial.hpp to the last unit.
+  for (std::size_t n : {4u, 5u, 8u, 16u, 33u}) {
+    const auto g = graph::make_ring(n);
+    const auto init = proto::chain_config(n);
+    const auto sweep = workload::ivy_ring_sweep(n);
+    auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+    const auto report =
+        analysis::measure_sequential(g, init, *policy, sweep);
+    EXPECT_DOUBLE_EQ(report.find_cost, workload::ivy_sweep_find_cost(n))
+        << "n=" << n;
+    EXPECT_DOUBLE_EQ(report.find_cost + report.token_cost,
+                     workload::ivy_sweep_total_cost(n))
+        << "n=" << n;
+    EXPECT_DOUBLE_EQ(report.opt, workload::ivy_sweep_opt(n)) << "n=" << n;
+  }
+}
+
+TEST(IvySweep, CostGrowsQuadratically) {
+  const double c16 = workload::ivy_sweep_find_cost(16);
+  const double c32 = workload::ivy_sweep_find_cost(32);
+  const double c64 = workload::ivy_sweep_find_cost(64);
+  // Doubling n should roughly quadruple the cost.
+  EXPECT_GT(c32 / c16, 3.0);
+  EXPECT_LT(c32 / c16, 5.0);
+  EXPECT_GT(c64 / c32, 3.0);
+  EXPECT_LT(c64 / c32, 5.0);
+}
+
+TEST(IvySweep, RatioGrowsLinearly) {
+  // competitive ratio ~ Theta(n): ratio(2n) / ratio(n) -> 2.
+  const double r16 =
+      workload::ivy_sweep_find_cost(16) / workload::ivy_sweep_opt(16);
+  const double r32 =
+      workload::ivy_sweep_find_cost(32) / workload::ivy_sweep_opt(32);
+  EXPECT_GT(r32 / r16, 1.7);
+  EXPECT_LT(r32 / r16, 2.3);
+}
+
+TEST(ArrowAlternation, WorstPairIsThePathEnds) {
+  const auto g = graph::make_ring(10);
+  const auto tree = graph::ring_path_tree(g, 5);
+  const auto sequence = workload::arrow_worst_alternation(g, tree, 6);
+  ASSERT_EQ(sequence.size(), 6u);
+  EXPECT_EQ(std::min(sequence[0], sequence[1]), 0u);
+  EXPECT_EQ(std::max(sequence[0], sequence[1]), 9u);
+  EXPECT_EQ(sequence[0], sequence[2]);
+  EXPECT_EQ(sequence[1], sequence[3]);
+}
+
+TEST(ArrowAlternation, RatioIsLinearInN) {
+  // Arrow on the ring's spanning path, alternating across the wrap edge:
+  // every request costs n-1 (find) while OPT pays 1, except the first
+  // request which may be cheaper. Ratio must be close to n-1.
+  for (std::size_t n : {8u, 16u, 32u}) {
+    const auto g = graph::make_ring(n);
+    const auto tree = graph::ring_path_tree(g, static_cast<NodeId>(n / 2));
+    const auto init = proto::from_tree(tree);
+    // Long enough that the O(n) warmup hop from the middle is amortized:
+    // every alternation pays n-1 (find) against OPT 1.
+    const auto sequence =
+        workload::arrow_worst_alternation(g, tree, /*length=*/4 * n);
+    auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+    const auto report = analysis::measure_sequential(g, init, *policy, sequence);
+    EXPECT_GT(report.ratio_find_only, 0.8 * static_cast<double>(n - 1));
+    EXPECT_LT(report.ratio_find_only, 1.2 * static_cast<double>(n - 1));
+  }
+}
+
+TEST(ArrowAlternation, ArrowEdgesNeverLeaveTheSpanningPath) {
+  // Sanity for the lower bound's premise: Arrow's tree stays the spanning
+  // path, so the alternation keeps paying the full path forever.
+  const auto g = graph::make_ring(12);
+  const auto tree = graph::ring_path_tree(g, 6);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  proto::SimEngine engine(g, proto::from_tree(tree), *policy, {});
+  engine.run_sequential(workload::alternating_sequence(0, 11, 8));
+  for (NodeId v = 0; v < 12; ++v) {
+    const NodeId p = engine.node(v).parent();
+    if (p != v) {
+      EXPECT_EQ(std::max(v, p) - std::min(v, p), 1u)
+          << "non-path edge " << v << "->" << p;
+    }
+  }
+}
+
+TEST(BridgeVsLowerBounds, BridgeBeatsArrowAndIvyOnTheirWorstCases) {
+  // On the very sequences that sink Arrow and Ivy, Arvy's bridge policy
+  // stays within its constant factor.
+  constexpr std::size_t n = 16;
+  const auto g = graph::make_ring(n);
+
+  // Ivy's nemesis: the sweep.
+  {
+    const auto sweep = workload::ivy_ring_sweep(n);
+    auto bridge = proto::make_policy(proto::PolicyKind::kBridge);
+    const auto report = analysis::measure_sequential(
+        g, proto::ring_bridge_config(n), *bridge, sweep);
+    EXPECT_LE(report.ratio_find_only, 5.0);
+    auto ivy = proto::make_policy(proto::PolicyKind::kIvy);
+    const auto ivy_report = analysis::measure_sequential(
+        g, proto::chain_config(n), *ivy, sweep);
+    EXPECT_GT(ivy_report.ratio_find_only, report.ratio_find_only);
+  }
+
+  // Arrow's nemesis: alternation across the wrap edge.
+  {
+    const auto alternation = workload::alternating_sequence(
+        0, static_cast<NodeId>(n - 1), 20);
+    auto bridge = proto::make_policy(proto::PolicyKind::kBridge);
+    const auto report = analysis::measure_sequential(
+        g, proto::ring_bridge_config(n), *bridge, alternation);
+    EXPECT_LE(report.ratio_find_only, 5.0);
+    const auto tree = graph::ring_path_tree(g, static_cast<NodeId>(n / 2));
+    auto arrow = proto::make_policy(proto::PolicyKind::kArrow);
+    const auto arrow_report = analysis::measure_sequential(
+        g, proto::from_tree(tree), *arrow, alternation);
+    EXPECT_GT(arrow_report.ratio_find_only, 2.0 * report.ratio_find_only);
+  }
+}
+
+}  // namespace

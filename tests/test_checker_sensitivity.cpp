@@ -1,0 +1,135 @@
+// Checker sensitivity: the Lemma 2 invariant checker must not only accept
+// every reachable configuration (test_property_invariants) but also REJECT
+// corrupted ones. These property tests take genuine mid-execution
+// configurations and apply random single-field corruptions; the checker has
+// to flag a large fraction of them (some corruptions are benign by
+// construction, e.g. re-pointing a parent inside its own component).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "support/rng.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+// Captures a configuration mid-flight (several red edges present).
+verify::Configuration busy_configuration(std::uint64_t seed) {
+  const auto g = graph::make_ring(10);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  proto::SimEngine::Options options;
+  options.discipline = sim::Discipline::kRandom;
+  options.seed = seed;
+  proto::SimEngine engine(g, proto::ring_bridge_config(10), *policy,
+                          std::move(options));
+  support::Rng driver(seed + 99);
+  std::size_t submitted = 0;
+  // Build up concurrent traffic, then freeze.
+  while (submitted < 5) {
+    const auto v = static_cast<NodeId>(driver.next_below(10));
+    if (!engine.node(v).outstanding().has_value() &&
+        !engine.node(v).holds_token()) {
+      engine.submit(v);
+      ++submitted;
+    }
+  }
+  for (int steps = 0; steps < 3 && !engine.bus().idle(); ++steps) {
+    engine.step();
+  }
+  return verify::capture(engine);
+}
+
+TEST(CheckerSensitivity, BaselineConfigurationsPass) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto cfg = busy_configuration(seed);
+    const auto result = verify::check_all(cfg);
+    EXPECT_TRUE(result.ok) << "seed " << seed << ": " << result.detail;
+  }
+}
+
+TEST(CheckerSensitivity, ParentCorruptionIsMostlyDetected) {
+  support::Rng rng(1234);
+  std::size_t detected = 0;
+  std::size_t trials = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto baseline = busy_configuration(seed);
+    for (int round = 0; round < 16; ++round) {
+      auto cfg = baseline;
+      const auto v = static_cast<NodeId>(rng.next_below(cfg.node_count()));
+      const auto new_parent =
+          static_cast<NodeId>(rng.next_below(cfg.node_count()));
+      if (cfg.parent[v] == new_parent) continue;
+      cfg.parent[v] = new_parent;
+      ++trials;
+      if (!verify::check_all(cfg).ok) ++detected;
+    }
+  }
+  ASSERT_GT(trials, 0u);
+  // Re-pointing a parent at random almost always breaks the BR tree (cycle
+  // or split) or a node-state rule; allow a small benign fraction.
+  EXPECT_GT(detected * 10, trials * 8) << detected << "/" << trials;
+}
+
+TEST(CheckerSensitivity, RedEdgeRemovalAlwaysDetected) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto cfg = busy_configuration(seed);
+    if (cfg.red_edges.empty()) continue;
+    cfg.red_edges.pop_back();  // "lose" a find
+    EXPECT_FALSE(verify::check_all(cfg).ok) << "seed " << seed;
+  }
+}
+
+TEST(CheckerSensitivity, VisitedSetCorruptionIsDetected) {
+  support::Rng rng(77);
+  std::size_t detected = 0;
+  std::size_t trials = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto baseline = busy_configuration(seed);
+    if (baseline.red_edges.empty()) continue;
+    for (int round = 0; round < 8; ++round) {
+      auto cfg = baseline;
+      auto& red = cfg.red_edges[rng.next_below(cfg.red_edges.size())];
+      const auto bogus = static_cast<NodeId>(rng.next_below(cfg.node_count()));
+      if (std::find(red.visited.begin(), red.visited.end(), bogus) !=
+          red.visited.end()) {
+        continue;
+      }
+      red.visited.push_back(bogus);
+      ++trials;
+      if (!verify::check_all(cfg).ok) ++detected;
+    }
+  }
+  ASSERT_GT(trials, 0u);
+  // A fabricated visited entry usually lands in the destination component
+  // (L2.3 / L2.2 violation); nodes already in the source component are
+  // benign additions.
+  EXPECT_GT(detected * 2, trials) << detected << "/" << trials;
+}
+
+TEST(CheckerSensitivity, TokenDuplicationAlwaysDetected) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto cfg = busy_configuration(seed);
+    if (cfg.token_at.has_value()) {
+      cfg.token_in_flight = {{0, 1}};
+    } else {
+      cfg.token_at = 0;
+    }
+    EXPECT_FALSE(verify::check_token(cfg).ok) << "seed " << seed;
+  }
+}
+
+TEST(CheckerSensitivity, NextPointerCycleAlwaysDetected) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto cfg = busy_configuration(seed);
+    cfg.next[0] = 1;
+    cfg.next[1] = 0;
+    EXPECT_FALSE(verify::check_next_chains(cfg).ok) << "seed " << seed;
+  }
+}
+
+}  // namespace

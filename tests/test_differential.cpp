@@ -1,0 +1,181 @@
+// Differential properties that must hold for EVERY policy on EVERY
+// topology under sequential semantics - the cross-policy contract of
+// Algorithm 1:
+//   * every request satisfied, in submission order;
+//   * the token ends at the last requester and the parent pointers form a
+//     tree rooted there;
+//   * token traffic equals the offline OPT exactly (the token always moves
+//     holder -> requester on a shortest path);
+//   * find traffic is at least OPT (the find must reach the token's
+//     neighbourhood) and finite;
+//   * the invariants hold in the quiescent final configuration.
+#include <gtest/gtest.h>
+
+#include "analysis/opt.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/tree_metrics.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+#include "verify/liveness.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::Graph;
+using graph::NodeId;
+
+enum class Topo { kRing, kGrid, kComplete, kTree, kHypercube, kGeometric };
+
+const char* topo_name(Topo t) {
+  switch (t) {
+    case Topo::kRing:
+      return "ring";
+    case Topo::kGrid:
+      return "grid";
+    case Topo::kComplete:
+      return "complete";
+    case Topo::kTree:
+      return "tree";
+    case Topo::kHypercube:
+      return "hypercube";
+    case Topo::kGeometric:
+      return "geometric";
+  }
+  return "?";
+}
+
+Graph build(Topo t) {
+  support::Rng rng(99);
+  switch (t) {
+    case Topo::kRing:
+      return graph::make_ring(12);
+    case Topo::kGrid:
+      return graph::make_grid(3, 4);
+    case Topo::kComplete:
+      return graph::make_complete(9);
+    case Topo::kTree:
+      return graph::make_random_tree(11, rng);
+    case Topo::kHypercube:
+      return graph::make_hypercube(3);
+    case Topo::kGeometric:
+      return graph::make_random_geometric(12, 0.4, rng);
+  }
+  ARVY_UNREACHABLE("bad topo");
+}
+
+struct Params {
+  Topo topo;
+  proto::PolicyKind policy;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  return std::string(topo_name(info.param.topo)) + "_" +
+         std::string(proto::policy_kind_name(info.param.policy));
+}
+
+class SequentialContract : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SequentialContract, HoldsForRandomWorkloads) {
+  const auto [topo, policy_kind] = GetParam();
+  const Graph g = build(topo);
+  const bool is_ring = topo == Topo::kRing;
+  if (policy_kind == proto::PolicyKind::kBridge && !is_ring) {
+    GTEST_SKIP() << "bridge policy is ring-specific";
+  }
+  const auto init =
+      policy_kind == proto::PolicyKind::kBridge
+          ? proto::ring_bridge_config(g.node_count())
+          : proto::from_tree(shortest_path_tree(
+                g, graph::metric_summary(g).center));
+  auto policy = proto::make_policy(policy_kind, 2);
+  proto::SimEngine engine(g, init, *policy, {});
+  support::Rng rng(7);
+  const auto sequence = workload::uniform_sequence(g.node_count(), 25, rng);
+  engine.run_sequential(sequence);
+
+  // Liveness + order.
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+  const auto audit = verify::audit_liveness(engine);
+  EXPECT_TRUE(audit.ok) << audit.detail;
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    EXPECT_EQ(engine.requests()[i].satisfaction_index, i + 1);
+  }
+
+  // Final placement and structure.
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{sequence.back()});
+  const auto cfg = verify::capture(engine);
+  const auto check = verify::check_all(cfg);
+  EXPECT_TRUE(check.ok) << check.detail;
+
+  // Cost identities/bounds.
+  const double opt =
+      analysis::opt_sequential(engine.oracle(), init.root, sequence);
+  EXPECT_DOUBLE_EQ(engine.costs().token_distance, opt);
+  EXPECT_GE(engine.costs().find_distance + 1e-9, opt);
+  // Exactly one token transfer per request, except requests made by the
+  // node already holding the token.
+  std::uint64_t in_place = 0;
+  NodeId holder = init.root;
+  for (NodeId v : sequence) {
+    if (v == holder) ++in_place;
+    holder = v;
+  }
+  EXPECT_EQ(engine.costs().token_messages, sequence.size() - in_place);
+}
+
+std::vector<Params> all_params() {
+  std::vector<Params> out;
+  for (Topo t : {Topo::kRing, Topo::kGrid, Topo::kComplete, Topo::kTree,
+                 Topo::kHypercube, Topo::kGeometric}) {
+    for (proto::PolicyKind p : proto::all_policy_kinds()) {
+      out.push_back({t, p});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SequentialContract,
+                         ::testing::ValuesIn(all_params()), param_name);
+
+// The weighted-ring bridge under concurrent adversarial delivery: Theorem
+// 7's configuration fuzzed the way E7 fuzzes the unit ring.
+class WeightedBridgeFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedBridgeFuzz, InvariantsAndLiveness) {
+  const std::uint64_t seed = GetParam();
+  support::Rng wrng(seed);
+  const auto g = graph::make_weighted_ring(9, wrng, 0.2, 4.0);
+  const auto init = proto::weighted_ring_bridge_config(g);
+  auto policy = proto::make_policy(proto::PolicyKind::kBridge);
+  proto::SimEngine::Options options;
+  options.discipline = sim::Discipline::kRandom;
+  options.seed = seed;
+  proto::SimEngine engine(g, init, *policy, std::move(options));
+  engine.set_post_event_hook([&](const proto::SimEngine& eng) {
+    const auto check = verify::check_all(verify::capture(eng));
+    ASSERT_TRUE(check.ok) << check.detail;
+  });
+  support::Rng driver(seed * 13 + 5);
+  std::size_t submitted = 0;
+  while (submitted < 25 || !engine.bus().idle()) {
+    if (submitted < 25 && (engine.bus().idle() || driver.next_bool(0.5))) {
+      const auto v = static_cast<NodeId>(driver.next_below(9));
+      if (!engine.node(v).outstanding().has_value()) {
+        engine.submit(v);
+        ++submitted;
+      }
+    } else {
+      engine.step();
+    }
+  }
+  EXPECT_TRUE(verify::audit_liveness(engine).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedBridgeFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace

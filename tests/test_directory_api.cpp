@@ -1,0 +1,115 @@
+// Tests for the public facade: Directory and MultiDirectory.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "proto/directory.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(Directory, QuickstartFlow) {
+  const auto g = graph::make_ring(8);
+  Directory dir(g, {.policy = proto::PolicyKind::kBridge});
+  EXPECT_TRUE(dir.holder().has_value());
+  dir.acquire_and_wait(3);
+  EXPECT_EQ(dir.holder(), std::optional<NodeId>{3});
+  dir.acquire_and_wait(6);
+  EXPECT_EQ(dir.holder(), std::optional<NodeId>{6});
+  EXPECT_GT(dir.costs().total_distance(), 0.0);
+  EXPECT_EQ(dir.requests().size(), 2u);
+}
+
+TEST(Directory, AsynchronousAcquireCompletesOnRun) {
+  const auto g = graph::make_grid(3, 3);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  const auto id = dir.acquire(8);
+  EXPECT_GT(id, 0u);
+  dir.run();
+  EXPECT_EQ(dir.holder(), std::optional<NodeId>{8});
+}
+
+TEST(Directory, DefaultInitUsesAlgorithmTwoOnUnitRings) {
+  const auto g = graph::make_ring(8);
+  const auto init = default_initial_config(g, proto::PolicyKind::kBridge);
+  EXPECT_EQ(init.root, 3u);  // Algorithm 2's v_{n/2}
+  EXPECT_TRUE(init.parent_edge_is_bridge[4]);
+}
+
+TEST(Directory, DefaultInitUsesWeightedSplitOnWeightedRings) {
+  support::Rng rng(3);
+  const auto g = graph::make_weighted_ring(9, rng, 0.5, 3.0);
+  const auto init = default_initial_config(g, proto::PolicyKind::kBridge);
+  EXPECT_TRUE(init.is_valid_tree());
+  std::size_t bridges = 0;
+  for (bool b : init.parent_edge_is_bridge) bridges += b ? 1 : 0;
+  EXPECT_EQ(bridges, 1u);
+}
+
+TEST(Directory, DefaultInitCentersNonBridgePolicies) {
+  const auto g = graph::make_path(9);
+  const auto init = default_initial_config(g, proto::PolicyKind::kArrow);
+  EXPECT_EQ(init.root, 4u);  // path's metric center
+  for (bool b : init.parent_edge_is_bridge) EXPECT_FALSE(b);
+}
+
+TEST(Directory, CustomInitialConfigIsHonored) {
+  const auto g = graph::make_path(5);
+  DirectoryOptions options;
+  options.policy = proto::PolicyKind::kArrow;
+  options.initial = proto::chain_config(5);
+  Directory dir(g, options);
+  EXPECT_EQ(dir.holder(), std::optional<NodeId>{4});
+}
+
+TEST(MultiDirectory, ObjectsAreIndependent) {
+  const auto g = graph::make_ring(6);
+  MultiDirectory dirs(g, 3, {.policy = proto::PolicyKind::kIvy});
+  EXPECT_EQ(dirs.object_count(), 3u);
+  dirs.acquire_and_wait(0, 2);
+  dirs.acquire_and_wait(1, 4);
+  EXPECT_EQ(dirs.object(0).holder(), std::optional<NodeId>{2});
+  EXPECT_EQ(dirs.object(1).holder(), std::optional<NodeId>{4});
+  // Object 2 was never touched; its holder is its initial root, unaffected
+  // by the other objects' traffic.
+  EXPECT_TRUE(dirs.object(2).holder().has_value());
+  EXPECT_EQ(dirs.object(2).requests().size(), 0u);
+}
+
+TEST(MultiDirectory, RootsAreSpreadAcrossNodes) {
+  const auto g = graph::make_ring(8);
+  MultiDirectory dirs(g, 4, {.policy = proto::PolicyKind::kArrow});
+  std::set<NodeId> roots;
+  for (std::size_t i = 0; i < 4; ++i) {
+    roots.insert(*dirs.object(i).holder());
+  }
+  EXPECT_GT(roots.size(), 1u);
+}
+
+TEST(MultiDirectory, TotalCostsAggregate) {
+  const auto g = graph::make_ring(6);
+  MultiDirectory dirs(g, 2, {.policy = proto::PolicyKind::kIvy});
+  dirs.acquire_and_wait(0, 3);
+  dirs.acquire_and_wait(1, 5);
+  const auto total = dirs.total_costs();
+  EXPECT_DOUBLE_EQ(total.find_distance + total.token_distance,
+                   dirs.object(0).costs().total_distance() +
+                       dirs.object(1).costs().total_distance());
+}
+
+TEST(MultiDirectory, ParallelAcquiresDrainWithRunAll) {
+  const auto g = graph::make_grid(3, 3);
+  MultiDirectory dirs(g, 3, {.policy = proto::PolicyKind::kIvy});
+  dirs.acquire(0, 1);
+  dirs.acquire(1, 5);
+  dirs.acquire(2, 7);
+  dirs.run_all();
+  EXPECT_EQ(dirs.object(0).holder(), std::optional<NodeId>{1});
+  EXPECT_EQ(dirs.object(1).holder(), std::optional<NodeId>{5});
+  EXPECT_EQ(dirs.object(2).holder(), std::optional<NodeId>{7});
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Negative tests: the paper's model assumptions are load-bearing.
+//
+// §3 assumes messages "are never lost". These tests inject message loss and
+// show precisely which guarantee dies: a lost find strands its request
+// forever (Theorem 5 fails), a lost token strands every future request, and
+// the liveness audit detects both - while configurations without in-flight
+// state remain structurally sound (the safety invariants that don't mention
+// red edges survive).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+#include "verify/liveness.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+proto::SimEngine make_engine(const graph::Graph& g) {
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  return proto::SimEngine(g, proto::chain_config(g.node_count()), *policy, {});
+}
+
+TEST(FaultInjection, DropCountsAndRemovesFromFlight) {
+  const auto g = graph::make_path(4);
+  auto engine = make_engine(g);
+  engine.submit(0);
+  ASSERT_EQ(engine.bus().in_flight_count(), 1u);
+  engine.bus().drop(engine.bus().pending()[0]->id);
+  EXPECT_EQ(engine.bus().in_flight_count(), 0u);
+  EXPECT_EQ(engine.bus().dropped(), 1u);
+  EXPECT_TRUE(engine.bus().idle());
+}
+
+TEST(FaultInjection, LostFindStrandsTheRequestForever) {
+  const auto g = graph::make_path(5);
+  auto engine = make_engine(g);
+  engine.submit(0);
+  engine.step();  // first hop delivered
+  ASSERT_EQ(engine.bus().in_flight_count(), 1u);
+  engine.bus().drop(engine.bus().pending()[0]->id);  // lose the find
+  engine.run_until_idle();
+  // The network is quiet but the request is never satisfied: Theorem 5's
+  // conclusion fails exactly because its hypothesis (reliability) was
+  // violated.
+  EXPECT_EQ(engine.unsatisfied_count(), 1u);
+  const auto audit = verify::audit_liveness(engine);
+  EXPECT_FALSE(audit.ok);
+  EXPECT_NE(audit.detail.find("never satisfied"), std::string::npos);
+  // The BR graph is now missing an edge - the checker sees the hole.
+  const auto cfg = verify::capture(engine);
+  EXPECT_FALSE(verify::check_br_tree(cfg).ok);
+}
+
+TEST(FaultInjection, LostTokenStrandsEveryLaterRequest) {
+  const auto g = graph::make_path(4);
+  auto engine = make_engine(g);
+  engine.submit(0);
+  // Deliver the finds, then lose the token in flight.
+  while (engine.bus().in_flight_count() > 0 &&
+         proto::is_find(engine.bus().pending()[0]->payload)) {
+    engine.step();
+  }
+  ASSERT_EQ(engine.bus().in_flight_count(), 1u);
+  engine.bus().drop(engine.bus().pending()[0]->id);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.unsatisfied_count(), 1u);
+  // A second request chases a token that no longer exists: it parks at the
+  // first requester's next pointer and waits forever.
+  engine.submit(2);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.unsatisfied_count(), 2u);
+  EXPECT_FALSE(verify::audit_liveness(engine).ok);
+}
+
+TEST(FaultInjection, TokenVanishesFromEveryObserver) {
+  const auto g = graph::make_path(4);
+  auto engine = make_engine(g);
+  engine.submit(0);
+  while (engine.bus().in_flight_count() > 0 &&
+         proto::is_find(engine.bus().pending()[0]->payload)) {
+    engine.step();
+  }
+  engine.bus().drop(engine.bus().pending()[0]->id);
+  EXPECT_FALSE(engine.token_holder().has_value());
+  // capture() refuses the token-less configuration: "exactly one of held or
+  // in flight" is among the audited facts.
+  EXPECT_DEATH((void)verify::capture(engine), "token");
+}
+
+TEST(FaultInjection, DroppingAFindOnlyHurtsRequestsThatMeetIt) {
+  // Star-shaped tree on K6 rooted at 5: requests from 1 and 0 take disjoint
+  // paths to the root. Losing 1's find strands only 1; 0 still completes.
+  const auto g = graph::make_complete(6);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  proto::SimEngine::Options options;
+  options.discipline = sim::Discipline::kFifo;
+  proto::SimEngine engine(g, proto::from_tree(bfs_tree(g, 5)), *policy,
+                          std::move(options));
+  engine.submit(1);
+  ASSERT_EQ(engine.bus().in_flight_count(), 1u);
+  engine.bus().drop(engine.bus().pending()[0]->id);  // lose 1's find
+  engine.submit(0);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.unsatisfied_count(), 1u);
+  EXPECT_FALSE(engine.requests()[0].satisfied_at.has_value());  // node 1
+  EXPECT_TRUE(engine.requests()[1].satisfied_at.has_value());   // node 0
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{0});
+}
+
+}  // namespace

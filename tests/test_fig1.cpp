@@ -1,0 +1,226 @@
+// Experiment E1: an executable transcription of the paper's Figure 1.
+//
+// Five nodes a..e (ids 0..4), token initially at a, initial parents
+// b->a, c->a, d->c, e->c. The schedule below reproduces sub-figures (b)
+// through (l) exactly, including the concurrent overtakings: e's find
+// overtakes d's stuck find, b's request reaches a first, and the token is
+// only released at the end ("the token could have been sent around
+// earlier"). A scripted NewParent policy supplies the figure's choices; the
+// invariant checker validates every intermediate configuration.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using namespace arvy::proto;
+using arvy::graph::NodeId;
+using arvy::verify::capture;
+using arvy::verify::check_all;
+using arvy::verify::Configuration;
+
+constexpr NodeId a = 0, b = 1, c = 2, d = 3, e = 4;
+
+// Replays a fixed list of NewParent choices; each must be legal (a member of
+// the visited set), which the engine asserts.
+class ScriptedPolicy final : public NewParentPolicy {
+ public:
+  explicit ScriptedPolicy(std::deque<NodeId> choices)
+      : choices_(std::move(choices)) {}
+  PolicyDecision choose(const PolicyContext&) override {
+    EXPECT_FALSE(choices_.empty()) << "script exhausted";
+    const NodeId next = choices_.front();
+    choices_.pop_front();
+    return {next, false};
+  }
+  std::string_view name() const noexcept override { return "scripted"; }
+  std::unique_ptr<NewParentPolicy> clone() const override {
+    return std::make_unique<ScriptedPolicy>(*this);
+  }
+
+ private:
+  std::deque<NodeId> choices_;
+};
+
+InitialConfig fig1_initial() {
+  InitialConfig cfg;
+  cfg.root = a;
+  cfg.parent = {a, a, a, c, c};  // p(a)=a, p(b)=a, p(c)=a, p(d)=c, p(e)=c
+  cfg.parent_edge_is_bridge.assign(5, false);
+  return cfg;
+}
+
+struct Fig1Test : ::testing::Test {
+  // Choices in find-delivery order:
+  //   (c) c handles "find by d":  new parent d   (the figure keeps d)
+  //   (e) c handles "find by e":  new parent e
+  //   (f) d handles "find by e":  new parent e   ("new parent of d is e")
+  //   (h) a handles "find by b":  new parent b
+  //   (i) a handles "find by d":  new parent d   ("new parent of a is d")
+  //   (j) b handles "find by d":  new parent d
+  ScriptedPolicy policy{std::deque<NodeId>{d, e, e, b, d, d}};
+  arvy::graph::Graph g = arvy::graph::make_complete(5);
+  SimEngine engine{g, fig1_initial(), policy, [] {
+                     SimEngine::Options o;
+                     o.discipline = arvy::sim::Discipline::kFifo;
+                     o.auto_send_token = false;
+                     return o;
+                   }()};
+
+  void expect_invariants(const char* stage) {
+    const Configuration cfg = capture(engine);
+    const auto result = check_all(cfg);
+    EXPECT_TRUE(result.ok) << "at " << stage << ": " << result.detail;
+  }
+};
+
+TEST_F(Fig1Test, ReplaysTheFullFigure) {
+  auto parent = [&](NodeId v) { return engine.node(v).parent(); };
+  auto next_of = [&](NodeId v) { return engine.node(v).next(); };
+
+  // (a) initial configuration.
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{a});
+  expect_invariants("fig1a");
+
+  // (b) d requests the token: red edge (d, c), p(d) = d.
+  engine.submit(d);
+  EXPECT_EQ(parent(d), d);
+  {
+    const Configuration cfg = capture(engine);
+    ASSERT_EQ(cfg.red_edges.size(), 1u);
+    EXPECT_EQ(cfg.red_edges[0].tail, d);
+    EXPECT_EQ(cfg.red_edges[0].head, c);
+    EXPECT_EQ(cfg.red_edges[0].producer, d);
+  }
+  expect_invariants("fig1b");
+
+  // (c) c receives "find by d" and forwards it to a; c's new parent is d.
+  const auto find_by_d_1 = engine.bus().pending()[0]->id;
+  engine.bus().deliver(find_by_d_1);
+  EXPECT_EQ(parent(c), d);
+  {
+    const Configuration cfg = capture(engine);
+    ASSERT_EQ(cfg.red_edges.size(), 1u);
+    EXPECT_EQ(cfg.red_edges[0].tail, c);
+    EXPECT_EQ(cfg.red_edges[0].head, a);
+    EXPECT_EQ(cfg.red_edges[0].visited, (std::vector<NodeId>{d, c}));
+  }
+  expect_invariants("fig1c");
+
+  // (d) e requests the token before "find by d" reaches a.
+  engine.submit(e);
+  EXPECT_EQ(parent(e), e);
+  EXPECT_EQ(engine.bus().in_flight_count(), 2u);
+  expect_invariants("fig1d");
+
+  // (e) c receives "find by e" and forwards it to its parent d; c re-points
+  // at e.
+  const auto find_by_e_1 = engine.bus().pending()[1]->id;
+  engine.bus().deliver(find_by_e_1);
+  EXPECT_EQ(parent(c), e);
+  expect_invariants("fig1e");
+
+  // (f) d receives "find by e": d has a self-loop, so n(d) = e; d's new
+  // parent is e. The "find by d" is still stuck on the way to a.
+  const auto find_by_e_2 = engine.bus().pending()[1]->id;
+  engine.bus().deliver(find_by_e_2);
+  EXPECT_EQ(parent(d), e);
+  EXPECT_EQ(next_of(d), std::optional<NodeId>{e});
+  EXPECT_EQ(engine.bus().in_flight_count(), 1u);  // only "find by d" remains
+  expect_invariants("fig1f");
+
+  // (g) b requests the token. This is the Figure 2 configuration.
+  engine.submit(b);
+  EXPECT_EQ(parent(b), b);
+  {
+    const Configuration cfg = capture(engine);
+    ASSERT_EQ(cfg.red_edges.size(), 2u);
+    // Red edges (c, a) for "find by d" and (b, a) for "find by b".
+    EXPECT_EQ(cfg.red_edges[0].producer, d);
+    EXPECT_EQ(cfg.red_edges[1].producer, b);
+  }
+  expect_invariants("fig1g");
+
+  // (h) a receives "find by b": a keeps the token (deferred SendToken) and
+  // sets n(a) = b; a's new parent is b.
+  const auto find_by_b = engine.bus().pending()[1]->id;
+  engine.bus().deliver(find_by_b);
+  EXPECT_EQ(parent(a), b);
+  EXPECT_EQ(next_of(a), std::optional<NodeId>{b});
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{a});
+  expect_invariants("fig1h");
+
+  // (i) a finally receives "find by d" and forwards it to b; a's new parent
+  // becomes d ("the structure has changed again").
+  const auto find_by_d_2 = engine.bus().pending()[0]->id;
+  engine.bus().deliver(find_by_d_2);
+  EXPECT_EQ(parent(a), d);
+  {
+    const Configuration cfg = capture(engine);
+    ASSERT_EQ(cfg.red_edges.size(), 1u);
+    EXPECT_EQ(cfg.red_edges[0].tail, a);
+    EXPECT_EQ(cfg.red_edges[0].head, b);
+    EXPECT_EQ(cfg.red_edges[0].visited, (std::vector<NodeId>{d, c, a}));
+  }
+  expect_invariants("fig1i");
+
+  // (j) b receives "find by d": self-loop, so n(b) = d; b re-points at d.
+  const auto find_by_d_3 = engine.bus().pending()[0]->id;
+  engine.bus().deliver(find_by_d_3);
+  EXPECT_EQ(parent(b), d);
+  EXPECT_EQ(next_of(b), std::optional<NodeId>{d});
+  EXPECT_TRUE(engine.bus().idle());
+  expect_invariants("fig1j");
+
+  // (k, l) the token is finally sent around the next pointers:
+  // a -> b -> d -> e.
+  engine.flush_token(a);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{e});
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+  // Satisfaction order is b, d, e (requests were d, e, b -> indices 3, 1, 2
+  // in submission order).
+  const auto& requests = engine.requests();
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].node, d);
+  EXPECT_EQ(requests[0].satisfaction_index, 2u);
+  EXPECT_EQ(requests[1].node, e);
+  EXPECT_EQ(requests[1].satisfaction_index, 3u);
+  EXPECT_EQ(requests[2].node, b);
+  EXPECT_EQ(requests[2].satisfaction_index, 1u);
+  // Final parents: a->d, b->d, c->e, d->e, e->e (a directionless tree).
+  EXPECT_EQ(parent(a), d);
+  EXPECT_EQ(parent(b), d);
+  EXPECT_EQ(parent(c), e);
+  EXPECT_EQ(parent(d), e);
+  EXPECT_EQ(parent(e), e);
+  expect_invariants("fig1l");
+}
+
+TEST_F(Fig1Test, CostAccountingMatchesHandCount) {
+  // On K5 every hop costs 1. Finds: d->c, c->a (find by d), e->c, c->d
+  // (find by e), b->a (find by b), a->b (find by d forwarded) = 6 hops.
+  // Token: a->b, b->d, d->e = 3 hops.
+  engine.submit(d);
+  engine.bus().deliver(engine.bus().pending()[0]->id);
+  engine.submit(e);
+  engine.bus().deliver(engine.bus().pending()[1]->id);
+  engine.bus().deliver(engine.bus().pending()[1]->id);
+  engine.submit(b);
+  engine.bus().deliver(engine.bus().pending()[1]->id);
+  engine.bus().deliver(engine.bus().pending()[0]->id);
+  engine.bus().deliver(engine.bus().pending()[0]->id);
+  engine.flush_token(a);
+  engine.run_until_idle();
+  EXPECT_DOUBLE_EQ(engine.costs().find_distance, 6.0);
+  EXPECT_DOUBLE_EQ(engine.costs().token_distance, 3.0);
+  EXPECT_EQ(engine.costs().find_messages, 6u);
+  EXPECT_EQ(engine.costs().token_messages, 3u);
+}
+
+}  // namespace

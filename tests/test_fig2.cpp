@@ -1,0 +1,99 @@
+// Experiment E2: an executable transcription of the paper's Figure 2 - the
+// set of BG graphs obtained from the Figure 1g configuration by replacing
+// each red edge with every legal green edge.
+#include <gtest/gtest.h>
+
+#include "graph/graph.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using arvy::graph::DisjointSets;
+using arvy::graph::NodeId;
+using arvy::verify::Configuration;
+using arvy::verify::RedEdge;
+
+constexpr NodeId a = 0, b = 1, c = 2, d = 3, e = 4;
+
+// The Figure 1g configuration, built directly (test_fig1 also reaches it by
+// replay): a holds the token; b, d, e have outstanding requests; find by d
+// is in transit c -> a having visited {d, c}; find by b is in transit
+// b -> a; n(d) = e.
+Configuration fig1g() {
+  Configuration cfg;
+  cfg.parent = {a, b, e, e, e};  // p(a)=a, p(b)=b, p(c)=e, p(d)=e, p(e)=e
+  cfg.next.assign(5, std::nullopt);
+  cfg.next[d] = e;
+  cfg.token_at = a;
+  RedEdge find_by_d;
+  find_by_d.tail = c;
+  find_by_d.head = a;
+  find_by_d.producer = d;
+  find_by_d.visited = {d, c};
+  RedEdge find_by_b;
+  find_by_b.tail = b;
+  find_by_b.head = a;
+  find_by_b.producer = b;
+  find_by_b.visited = {b};
+  cfg.red_edges = {find_by_d, find_by_b};
+  return cfg;
+}
+
+TEST(Fig2, WaitingAndVisitedSetsMatchThePaper) {
+  const Configuration cfg = fig1g();
+  // waiting(d) = {e} via n(d) = e; waiting(b) is empty.
+  EXPECT_EQ(cfg.waiting_set(d), (std::vector<NodeId>{e}));
+  EXPECT_TRUE(cfg.waiting_set(b).empty());
+  // G_6(r2) for r2 = (c, a): green endpoints visited {d, c} plus waiting {e}.
+  // G_6(r1) for r1 = (b, a): only the producer b itself.
+}
+
+TEST(Fig2, EnumeratesExactlyThreeBgGraphsAllTrees) {
+  const Configuration cfg = fig1g();
+  // Black edges minus self-loops: c->e, d->e. Red (b, a) admits one green
+  // edge (a, b); red (c, a) admits three: (a, d), (a, c), (a, e). So
+  // |BG_6| = 3, exactly the combinations Figure 2 draws.
+  const std::vector<NodeId> candidates_r2{d, c, e};
+  for (NodeId x : candidates_r2) {
+    DisjointSets dsu(5);
+    EXPECT_TRUE(dsu.unite(c, e));
+    EXPECT_TRUE(dsu.unite(d, e));
+    EXPECT_TRUE(dsu.unite(a, b));  // green for r1
+    EXPECT_TRUE(dsu.unite(a, x)) << "green (a," << x << ") closed a cycle";
+    EXPECT_EQ(dsu.set_count(), 1u) << "BG graph with (a," << x
+                                   << ") is disconnected";
+  }
+}
+
+TEST(Fig2, CheckerAcceptsTheConfiguration) {
+  const Configuration cfg = fig1g();
+  const auto result = arvy::verify::check_all(cfg);
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Fig2, CheckerRejectsAnIllegalGreenCandidate) {
+  // If the "find by d" message had (wrongly) recorded node b as visited, the
+  // BG graph replacing (c, a) by (a, b) and (b, a) by (a, b)... would double
+  // the a-b connection and disconnect {c,d,e} side - Lemma 2.2 must fail.
+  Configuration cfg = fig1g();
+  cfg.red_edges[0].visited = {d, c, b};  // b never received this find
+  const auto result = arvy::verify::check_bg_trees(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("BG"), std::string::npos);
+}
+
+TEST(Fig2, SourceComponentsHoldForBothRedEdges) {
+  const auto result = arvy::verify::check_source_components(fig1g());
+  EXPECT_TRUE(result.ok) << result.detail;
+}
+
+TEST(Fig2, DotRenderingMentionsEveryElement) {
+  const std::string dot = fig1g().to_dot();
+  EXPECT_NE(dot.find("find by 3"), std::string::npos);  // find by d
+  EXPECT_NE(dot.find("find by 1"), std::string::npos);  // find by b
+  EXPECT_NE(dot.find("fillcolor=gray"), std::string::npos);  // token at a
+  EXPECT_NE(dot.find("n2 -> n4"), std::string::npos);  // black edge c -> e
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Tests for the FRT random tree embedding (E9 substrate).
+#include <gtest/gtest.h>
+
+#include "graph/frt.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::graph;
+using arvy::support::Rng;
+
+TEST(Frt, ProducesValidTree) {
+  Rng rng(1);
+  const Graph g = make_ring(16);
+  const FrtResult result = sample_frt_tree(g, rng);
+  EXPECT_TRUE(result.tree.is_valid());
+  EXPECT_GE(result.beta, 1.0);
+  EXPECT_LT(result.beta, 2.0);
+  EXPECT_GE(result.levels, 2u);
+}
+
+TEST(Frt, SingleNodeGraph) {
+  Graph g(1);
+  Rng rng(2);
+  const FrtResult result = sample_frt_tree(g, rng);
+  EXPECT_TRUE(result.tree.is_valid());
+  EXPECT_EQ(result.tree.root, 0u);
+}
+
+TEST(Frt, DeterministicPerSeed) {
+  const Graph g = make_grid(4, 4);
+  Rng a(7);
+  Rng b(7);
+  const FrtResult ra = sample_frt_tree(g, a);
+  const FrtResult rb = sample_frt_tree(g, b);
+  EXPECT_EQ(ra.tree.parent, rb.tree.parent);
+  EXPECT_EQ(ra.tree.parent_edge_weight, rb.tree.parent_edge_weight);
+}
+
+TEST(Frt, TreeDistancesDominateGraphDistancesUpToFactorTwo) {
+  // The uncollapsed HST dominates the metric exactly; collapsing internal
+  // clusters onto representative leaves contracts some edges, which can
+  // shrink a pair's distance by at most a factor of two (two nodes that
+  // first separate at level i are within 2 * beta * 2^i of each other and
+  // their collapsed path retains an edge of weight beta * 2^i).
+  Rng rng(11);
+  const Graph g = make_ring(12);
+  const FrtResult result = sample_frt_tree(g, rng);
+  const DistanceMatrix dm(g);
+  for (NodeId a = 0; a < 12; ++a) {
+    for (NodeId b = a + 1; b < 12; ++b) {
+      EXPECT_GE(2.0 * result.tree.tree_distance(a, b) + 1e-9, dm.at(a, b))
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(Frt, ExpectedStretchIsLogarithmic) {
+  // Average (over pairs and over 10 sampled trees) stretch on a 32-ring
+  // should be far below the worst single-tree stretch of ~n and in the
+  // ballpark of c * log n. We use a generous bound to keep the test stable.
+  const Graph g = make_ring(32);
+  Rng rng(13);
+  double total = 0.0;
+  constexpr int kTrees = 10;
+  for (int i = 0; i < kTrees; ++i) {
+    const FrtResult result = sample_frt_tree(g, rng);
+    total += average_stretch(g, result.tree);
+  }
+  const double mean_stretch = total / kTrees;
+  EXPECT_GE(mean_stretch, 1.0);
+  EXPECT_LT(mean_stretch, 40.0);  // c log n with modest c; n would be 32+
+}
+
+TEST(Frt, WorksOnWeightedGraphs) {
+  Rng rng(17);
+  const Graph g = make_random_geometric(20, 0.35, rng);
+  const FrtResult result = sample_frt_tree(g, rng);
+  EXPECT_TRUE(result.tree.is_valid());
+}
+
+}  // namespace

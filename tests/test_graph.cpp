@@ -1,0 +1,175 @@
+// Unit tests for the graph substrate: Graph, DisjointSets, generators.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::graph;
+using arvy::support::Rng;
+
+TEST(Graph, StartsWithIsolatedNodes) {
+  Graph g(5);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 2.5);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.5);
+}
+
+TEST(Graph, NeighborsSpanReflectsAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(3).size(), 0u);
+}
+
+TEST(Graph, EdgesListsEachOnceNormalized) {
+  Graph g(3);
+  g.add_edge(2, 0, 1.5);
+  g.add_edge(1, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const auto& e : edges) EXPECT_LT(e.a, e.b);
+}
+
+TEST(GraphDeath, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(1, 1), "self-loops");
+}
+
+TEST(GraphDeath, RejectsDuplicateEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_DEATH(g.add_edge(1, 0), "duplicate");
+}
+
+TEST(GraphDeath, RejectsNonPositiveWeight) {
+  Graph g(2);
+  EXPECT_DEATH(g.add_edge(0, 1, 0.0), "positive");
+}
+
+TEST(DisjointSets, UniteAndFind) {
+  DisjointSets dsu(4);
+  EXPECT_EQ(dsu.set_count(), 4u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already joined
+  EXPECT_EQ(dsu.set_count(), 2u);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_TRUE(dsu.unite(0, 3));
+  EXPECT_EQ(dsu.set_count(), 1u);
+}
+
+TEST(Generators, RingHasNEdgesAndDegreeTwo) {
+  const Graph g = make_ring(8);
+  EXPECT_EQ(g.node_count(), 8u);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.neighbors(v).size(), 2u);
+  EXPECT_TRUE(g.has_edge(7, 0));
+}
+
+TEST(Generators, WeightedRingWeightsInRange) {
+  Rng rng(3);
+  const Graph g = make_weighted_ring(10, rng, 0.5, 2.0);
+  for (const auto& e : g.edges()) {
+    EXPECT_GE(e.weight, 0.5);
+    EXPECT_LE(e.weight, 2.0);
+  }
+}
+
+TEST(Generators, PathAndStarShapes) {
+  const Graph p = make_path(5);
+  EXPECT_EQ(p.edge_count(), 4u);
+  EXPECT_EQ(p.neighbors(0).size(), 1u);
+  EXPECT_EQ(p.neighbors(2).size(), 2u);
+
+  const Graph s = make_star(6);
+  EXPECT_EQ(s.edge_count(), 5u);
+  EXPECT_EQ(s.neighbors(0).size(), 5u);
+  EXPECT_EQ(s.neighbors(3).size(), 1u);
+}
+
+TEST(Generators, CompleteGraphEdgeCount) {
+  const Graph g = make_complete(7);
+  EXPECT_EQ(g.edge_count(), 21u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, GridAndTorusDegrees) {
+  const Graph grid = make_grid(3, 4);
+  EXPECT_EQ(grid.node_count(), 12u);
+  EXPECT_EQ(grid.edge_count(), 3u * 3u + 4u * 2u);  // horizontal + vertical
+  EXPECT_EQ(grid.neighbors(0).size(), 2u);  // corner
+
+  const Graph torus = make_torus(3, 3);
+  EXPECT_EQ(torus.node_count(), 9u);
+  for (NodeId v = 0; v < 9; ++v) EXPECT_EQ(torus.neighbors(v).size(), 4u);
+}
+
+TEST(Generators, HypercubeDegreesEqualDimension) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.neighbors(v).size(), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, RandomTreeIsATree) {
+  Rng rng(5);
+  for (std::size_t n : {2u, 3u, 10u, 57u}) {
+    const Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.edge_count(), n - 1);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(Generators, BalancedTreeNodeCount) {
+  const Graph g = make_balanced_tree(2, 3);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(g.node_count(), 15u);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, ConnectedGnpIsConnected) {
+  Rng rng(7);
+  for (double p : {0.0, 0.1, 0.5}) {
+    const Graph g = make_connected_gnp(20, p, rng);
+    EXPECT_TRUE(g.is_connected());
+    EXPECT_GE(g.edge_count(), 19u);
+  }
+}
+
+TEST(Generators, RandomGeometricConnectedWithEuclideanWeights) {
+  Rng rng(11);
+  const Graph g = make_random_geometric(30, 0.25, rng);
+  EXPECT_TRUE(g.is_connected());
+  for (const auto& e : g.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.5);  // unit square diagonal bound
+  }
+}
+
+TEST(Generators, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  const Graph ga = make_connected_gnp(15, 0.3, a);
+  const Graph gb = make_connected_gnp(15, 0.3, b);
+  EXPECT_EQ(ga.edge_count(), gb.edge_count());
+  for (const auto& e : ga.edges()) EXPECT_TRUE(gb.has_edge(e.a, e.b));
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Tests for graph serialization (edge list + DOT export).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::graph;
+
+TEST(EdgeList, RoundTripsUnitRing) {
+  const Graph g = make_ring(6);
+  const Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(back.node_count(), 6u);
+  EXPECT_EQ(back.edge_count(), 6u);
+  for (const EdgeRef& e : g.edges()) {
+    EXPECT_TRUE(back.has_edge(e.a, e.b));
+    EXPECT_DOUBLE_EQ(back.edge_weight(e.a, e.b), e.weight);
+  }
+}
+
+TEST(EdgeList, RoundTripsWeightedGraph) {
+  arvy::support::Rng rng(3);
+  const Graph g = make_random_geometric(20, 0.35, rng);
+  const Graph back = from_edge_list_string(to_edge_list_string(g));
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (const EdgeRef& e : g.edges()) {
+    EXPECT_NEAR(back.edge_weight(e.a, e.b), e.weight, 1e-9);
+  }
+}
+
+TEST(EdgeList, ParsesHandWrittenInputWithComments) {
+  const std::string text =
+      "# a triangle\n"
+      "nodes 3\n"
+      "edge 0 1 1.5\n"
+      "# middle comment\n"
+      "edge 1 2 2.5\n"
+      "edge 2 0 3.5\n";
+  const Graph g = from_edge_list_string(text);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.5);
+}
+
+TEST(EdgeList, OutputIsDeterministic) {
+  const Graph g = make_grid(3, 3);
+  EXPECT_EQ(to_edge_list_string(g), to_edge_list_string(g));
+}
+
+TEST(EdgeListDeath, MissingNodesDirectiveAborts) {
+  EXPECT_DEATH((void)from_edge_list_string("edge 0 1 1\n"), "nodes");
+}
+
+TEST(EdgeListDeath, UnknownDirectiveAborts) {
+  EXPECT_DEATH((void)from_edge_list_string("nodes 2\nvertex 0 1\n"),
+               "unknown directive");
+}
+
+TEST(EdgeListDeath, MalformedEdgeAborts) {
+  EXPECT_DEATH((void)from_edge_list_string("nodes 2\nedge 0\n"), "malformed");
+}
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  const Graph g = make_path(4);
+  const std::string dot = to_dot(g);
+  for (const char* needle : {"n0", "n1", "n2", "n3", "n0 -- n1", "n2 -- n3"}) {
+    EXPECT_NE(dot.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Dot, HighlightsTreeEdgesAndRoot) {
+  const Graph g = make_ring(6);
+  const RootedTree tree = ring_path_tree(g, 3);
+  const std::string dot = to_dot(g, &tree);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the root
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);    // tree edges
+  EXPECT_NE(dot.find("color=gray"), std::string::npos);    // non-tree edge
+}
+
+}  // namespace

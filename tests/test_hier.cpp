@@ -1,0 +1,153 @@
+// Tests for the sparse-cover hierarchy and the hierarchical directory
+// baseline (experiment E11's comparator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "hier/cover.hpp"
+#include "hier/hier_directory.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(Cover, EveryNodeCoveredAtEveryLevel) {
+  const auto g = graph::make_ring(16);
+  const graph::DistanceOracle oracle(g);
+  const hier::CoverHierarchy hierarchy(oracle);
+  for (std::size_t i = 0; i < hierarchy.level_count(); ++i) {
+    const hier::Level& level = hierarchy.level(i);
+    for (NodeId v = 0; v < 16; ++v) {
+      EXPECT_FALSE(level.containing[v].empty())
+          << "node " << v << " uncovered at level " << i;
+    }
+  }
+}
+
+TEST(Cover, DesignatedClusterSatisfiesMiddleHalfProperty) {
+  // Every u within radius/2 of v must lie in v's designated cluster - the
+  // property that makes lookups hit at level ~log(distance).
+  const auto g = graph::make_ring(16);
+  const graph::DistanceOracle oracle(g);
+  const hier::CoverHierarchy hierarchy(oracle);
+  for (std::size_t i = 1; i < hierarchy.level_count(); ++i) {
+    const hier::Level& level = hierarchy.level(i);
+    for (NodeId v = 0; v < 16; ++v) {
+      const hier::Cluster& designated = level.clusters[level.designated[v]];
+      for (NodeId u = 0; u < 16; ++u) {
+        if (oracle.distance(u, v) <= level.radius / 2.0) {
+          EXPECT_NE(std::find(designated.members.begin(),
+                              designated.members.end(), u),
+                    designated.members.end())
+              << "level " << i << " v=" << v << " u=" << u;
+        }
+      }
+    }
+  }
+}
+
+TEST(Cover, TopLevelIsOneCluster) {
+  const auto g = graph::make_grid(4, 4);
+  const graph::DistanceOracle oracle(g);
+  const hier::CoverHierarchy hierarchy(oracle);
+  const auto& top = hierarchy.level(hierarchy.level_count() - 1);
+  ASSERT_EQ(top.clusters.size(), 1u);
+  EXPECT_EQ(top.clusters.front().members.size(), 16u);
+}
+
+TEST(Cover, LevelCountIsLogDiameter) {
+  for (std::size_t n : {8u, 32u, 128u}) {
+    const auto g = graph::make_ring(n);
+    const graph::DistanceOracle oracle(g);
+    const hier::CoverHierarchy hierarchy(oracle);
+    const double diameter = static_cast<double>(n) / 2.0;
+    const auto expected =
+        static_cast<std::size_t>(std::ceil(std::log2(diameter))) + 2;
+    EXPECT_LE(hierarchy.level_count(), expected + 1) << "n=" << n;
+    EXPECT_GE(hierarchy.level_count(), expected - 2) << "n=" << n;
+  }
+}
+
+TEST(Cover, SpaceGrowsLogarithmically) {
+  // O(log n) words per node: doubling n adds O(1) levels.
+  const auto words = [](std::size_t n) {
+    const auto g = graph::make_ring(n);
+    const graph::DistanceOracle oracle(g);
+    return hier::CoverHierarchy(oracle).max_space_words_per_node();
+  };
+  const std::size_t w32 = words(32);
+  const std::size_t w128 = words(128);
+  EXPECT_GT(w128, w32);
+  EXPECT_LE(w128, w32 + 6);  // ~2 extra levels, small per-level overhead
+}
+
+TEST(HierDirectory, MoveTransfersOwnership) {
+  const auto g = graph::make_ring(16);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 0);
+  EXPECT_EQ(dir.owner(), 0u);
+  const double cost = dir.move(5);
+  EXPECT_EQ(dir.owner(), 5u);
+  EXPECT_GE(cost, oracle.distance(0, 5));  // at least the object transfer
+}
+
+TEST(HierDirectory, RequestAtOwnerIsFree) {
+  const auto g = graph::make_ring(8);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 3);
+  EXPECT_DOUBLE_EQ(dir.move(3), 0.0);
+  EXPECT_EQ(dir.owner(), 3u);
+}
+
+TEST(HierDirectory, LongSequenceKeepsWorking) {
+  const auto g = graph::make_ring(32);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 0);
+  support::Rng rng(7);
+  double total = 0.0;
+  NodeId owner = 0;
+  double opt = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(32));
+    opt += oracle.distance(owner, v);
+    total += dir.move(v);
+    owner = v;
+    EXPECT_EQ(dir.owner(), v);
+  }
+  EXPECT_GE(total, opt);  // directory overhead is nonnegative
+  // and within the scheme's O(log n) factor with generous slack:
+  EXPECT_LE(total, 64.0 * opt + 200.0);
+}
+
+TEST(HierDirectory, LocalMovesCostProportionalToDistance) {
+  // Adjacent-node moves must not pay diameter-scale costs (the climb stops
+  // at a low level thanks to the middle-half property).
+  const auto g = graph::make_ring(64);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 10);
+  const double near_cost = dir.move(11);
+  EXPECT_LT(near_cost, 32.0);  // far below the diameter-scale worst case
+}
+
+TEST(HierDirectory, WorksOnGridsToo) {
+  const auto g = graph::make_grid(5, 5);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 0);
+  const std::vector<NodeId> seq{24, 12, 3, 20, 7};
+  const double total = dir.run_sequence(seq);
+  EXPECT_GT(total, 0.0);
+  EXPECT_EQ(dir.owner(), 7u);
+}
+
+TEST(HierDirectory, SpaceMatchesHierarchy) {
+  const auto g = graph::make_ring(32);
+  const graph::DistanceOracle oracle(g);
+  hier::HierarchicalDirectory dir(oracle, 0);
+  EXPECT_GE(dir.max_space_words_per_node(),
+            dir.level_count());  // one designated leader per level at least
+}
+
+}  // namespace

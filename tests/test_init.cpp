@@ -1,0 +1,120 @@
+// Tests for initial configurations (rooted trees, Algorithm 2's ring split).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proto/init.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::proto;
+
+TEST(InitFromTree, BfsTreeRoundTrip) {
+  const auto g = arvy::graph::make_grid(3, 3);
+  const auto tree = arvy::graph::bfs_tree(g, 4);
+  const InitialConfig cfg = from_tree(tree);
+  EXPECT_TRUE(cfg.is_valid_tree());
+  EXPECT_EQ(cfg.root, 4u);
+  EXPECT_EQ(cfg.parent[4], 4u);
+  for (bool b : cfg.parent_edge_is_bridge) EXPECT_FALSE(b);
+}
+
+TEST(RingBridge, MatchesAlgorithmTwoLayout) {
+  // n = 8, 0-based: root v_{n/2} = node 3, bridge child node 4.
+  const InitialConfig cfg = ring_bridge_config(8);
+  EXPECT_TRUE(cfg.is_valid_tree());
+  EXPECT_EQ(cfg.root, 3u);
+  // First semicircle points clockwise towards the root.
+  EXPECT_EQ(cfg.parent[0], 1u);
+  EXPECT_EQ(cfg.parent[1], 2u);
+  EXPECT_EQ(cfg.parent[2], 3u);
+  // Second semicircle points counterclockwise towards the root.
+  EXPECT_EQ(cfg.parent[4], 3u);
+  EXPECT_EQ(cfg.parent[5], 4u);
+  EXPECT_EQ(cfg.parent[6], 5u);
+  EXPECT_EQ(cfg.parent[7], 6u);
+  // The bridge is the edge (v_{n/2+1}, v_{n/2}) = (4, 3).
+  for (NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(cfg.parent_edge_is_bridge[v], v == 4u) << "node " << v;
+  }
+}
+
+TEST(RingBridge, BridgeEndsSplitRingInHalves) {
+  const InitialConfig cfg = ring_bridge_config(12);
+  // Set A = {v_1..v_{n/2}} = nodes 0..5, set B = nodes 6..11. The bridge
+  // child (node 6) is in B and its parent (the root, node 5) is in A.
+  EXPECT_EQ(cfg.root, 5u);
+  EXPECT_TRUE(cfg.parent_edge_is_bridge[6]);
+  EXPECT_EQ(cfg.parent[6], 5u);
+}
+
+TEST(RingBridgeDeath, OddOrTinyRingRejected) {
+  EXPECT_DEATH((void)ring_bridge_config(7), "even");
+  EXPECT_DEATH((void)ring_bridge_config(2), "even");
+}
+
+TEST(WeightedRingBridge, SidesBelowHalfTotalWeight) {
+  arvy::support::Rng rng(5);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    arvy::support::Rng local(seed + 1);
+    const auto ring = arvy::graph::make_weighted_ring(9, local, 0.2, 5.0);
+    const InitialConfig cfg = weighted_ring_bridge_config(ring);
+    EXPECT_TRUE(cfg.is_valid_tree());
+    // Find the bridge child; sum tree-edge weights on each side of it.
+    NodeId bridge_child = arvy::graph::kInvalidNode;
+    for (NodeId v = 0; v < 9; ++v) {
+      if (cfg.parent_edge_is_bridge[v]) {
+        EXPECT_EQ(bridge_child, arvy::graph::kInvalidNode);
+        bridge_child = v;
+      }
+    }
+    ASSERT_NE(bridge_child, arvy::graph::kInvalidNode);
+    EXPECT_EQ(cfg.root, bridge_child - 1);
+    double left = 0.0;
+    double right = 0.0;
+    for (NodeId v = 0; v + 1 < 9; ++v) {
+      const double w = ring.edge_weight(v, v + 1);
+      if (v + 1 <= cfg.root) {
+        left += w;
+      } else if (v >= bridge_child) {
+        right += w;
+      }
+    }
+    EXPECT_LT(left, ring.total_weight() / 2.0);
+    EXPECT_LT(right, ring.total_weight() / 2.0);
+  }
+}
+
+TEST(ChainConfig, PointsTowardsLastNode) {
+  const InitialConfig cfg = chain_config(5);
+  EXPECT_TRUE(cfg.is_valid_tree());
+  EXPECT_EQ(cfg.root, 4u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(cfg.parent[v], v + 1);
+}
+
+TEST(PathConfig, OrientsTowardsArbitraryRoot) {
+  const InitialConfig cfg = path_config(6, 2);
+  EXPECT_TRUE(cfg.is_valid_tree());
+  EXPECT_EQ(cfg.parent[0], 1u);
+  EXPECT_EQ(cfg.parent[1], 2u);
+  EXPECT_EQ(cfg.parent[3], 2u);
+  EXPECT_EQ(cfg.parent[5], 4u);
+}
+
+TEST(Validity, DetectsCycle) {
+  InitialConfig cfg;
+  cfg.root = 0;
+  cfg.parent = {0, 2, 1};  // 1 <-> 2 cycle
+  cfg.parent_edge_is_bridge = {false, false, false};
+  EXPECT_FALSE(cfg.is_valid_tree());
+}
+
+TEST(Validity, DetectsSecondSelfLoop) {
+  InitialConfig cfg;
+  cfg.root = 0;
+  cfg.parent = {0, 1, 0};  // node 1 is a second root
+  cfg.parent_edge_is_bridge = {false, false, false};
+  EXPECT_FALSE(cfg.is_valid_tree());
+}
+
+}  // namespace

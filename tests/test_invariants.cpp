@@ -1,0 +1,246 @@
+// Unit tests for the Lemma 2 invariant checker on hand-built
+// configurations, including deliberately broken ones.
+#include <gtest/gtest.h>
+
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using namespace arvy::verify;
+using arvy::graph::NodeId;
+
+// A quiescent 4-node chain: parents 0->1->2->3, root 3 holds the token.
+Configuration quiescent_chain() {
+  Configuration cfg;
+  cfg.parent = {1, 2, 3, 3};
+  cfg.next.assign(4, std::nullopt);
+  cfg.token_at = 3;
+  return cfg;
+}
+
+// Node 0 has requested: red edge (0, 1) with visited {0}.
+Configuration one_find_in_flight() {
+  Configuration cfg = quiescent_chain();
+  cfg.parent[0] = 0;
+  RedEdge red;
+  red.tail = 0;
+  red.head = 1;
+  red.producer = 0;
+  red.visited = {0};
+  cfg.red_edges.push_back(red);
+  return cfg;
+}
+
+TEST(BrTree, AcceptsQuiescentTree) {
+  EXPECT_TRUE(check_br_tree(quiescent_chain()).ok);
+}
+
+TEST(BrTree, AcceptsFindInFlight) {
+  EXPECT_TRUE(check_br_tree(one_find_in_flight()).ok);
+}
+
+TEST(BrTree, RejectsMissingEdge) {
+  Configuration cfg = quiescent_chain();
+  cfg.parent[0] = 0;  // self-loop without a replacing red edge
+  const auto result = check_br_tree(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("want n-1"), std::string::npos);
+}
+
+TEST(BrTree, RejectsCycle) {
+  Configuration cfg = quiescent_chain();
+  // Three black edges (n-1) but 0->1->2->0 is a cycle and the root floats.
+  cfg.parent = {1, 2, 0, 3};
+  const auto result = check_br_tree(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("cycle"), std::string::npos);
+}
+
+TEST(BgTrees, AcceptWhenNoRedEdges) {
+  EXPECT_TRUE(check_bg_trees(quiescent_chain()).ok);
+}
+
+TEST(BgTrees, AcceptLegalCandidates) {
+  EXPECT_TRUE(check_bg_trees(one_find_in_flight()).ok);
+}
+
+TEST(BgTrees, RejectCandidateInDestinationComponent) {
+  Configuration cfg = one_find_in_flight();
+  // Claim node 2 (in the destination component) was visited: the green
+  // edge (1, 2) then parallels the black edge 1->2 and closes a cycle.
+  cfg.red_edges[0].visited = {0, 2};
+  const auto result = check_bg_trees(cfg);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(BgTrees, SampledModeStillCatchesViolations) {
+  Configuration cfg = one_find_in_flight();
+  cfg.red_edges[0].visited = {0, 2};
+  InvariantOptions options;
+  options.max_bg_combinations = 0;  // force sampling
+  options.samples_when_large = 16;
+  const auto result = check_bg_trees(cfg, options);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(SourceComponents, AcceptLegalConfiguration) {
+  EXPECT_TRUE(check_source_components(one_find_in_flight()).ok);
+}
+
+TEST(SourceComponents, RejectVisitedNodeInDestination) {
+  Configuration cfg = one_find_in_flight();
+  cfg.red_edges[0].visited = {0, 3};
+  const auto result = check_source_components(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("L2.3"), std::string::npos);
+}
+
+TEST(SourceComponents, RejectWaitingNodeInDestination) {
+  // Producer 0's waiting chain reaches node 2, which sits across the red
+  // edge - impossible per Lemma 2.3.
+  Configuration cfg = one_find_in_flight();
+  cfg.next[0] = 2;
+  const auto result = check_source_components(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("waiting"), std::string::npos);
+}
+
+TEST(Token, RejectsVanishedToken) {
+  Configuration cfg = quiescent_chain();
+  cfg.token_at.reset();
+  EXPECT_FALSE(check_token(cfg).ok);
+}
+
+TEST(Token, RejectsHeldAndInFlight) {
+  Configuration cfg = quiescent_chain();
+  cfg.token_in_flight = {{3, 0}};
+  EXPECT_FALSE(check_token(cfg).ok);
+}
+
+TEST(Token, AcceptsInFlightOnly) {
+  Configuration cfg = quiescent_chain();
+  cfg.token_at.reset();
+  cfg.token_in_flight = {{3, 0}};
+  // Node 0 must have an outstanding request for states to be legal; keep
+  // this check local to the token rule.
+  EXPECT_TRUE(check_token(cfg).ok);
+}
+
+TEST(NextChains, RejectsSharedTarget) {
+  Configuration cfg = quiescent_chain();
+  cfg.next[0] = 2;
+  cfg.next[1] = 2;
+  const auto result = check_next_chains(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("waiting-chain"), std::string::npos);
+}
+
+TEST(NextChains, RejectsCycle) {
+  Configuration cfg = quiescent_chain();
+  cfg.next[0] = 1;
+  cfg.next[1] = 0;
+  EXPECT_FALSE(check_next_chains(cfg).ok);
+}
+
+TEST(NextChains, RejectsSelfReference) {
+  Configuration cfg = quiescent_chain();
+  cfg.next[2] = 2;
+  EXPECT_FALSE(check_next_chains(cfg).ok);
+}
+
+TEST(NextChains, AcceptsDisjointChains) {
+  Configuration cfg = quiescent_chain();
+  cfg.next[3] = 0;
+  cfg.parent[0] = 0;  // keep node states plausible (not checked here)
+  EXPECT_TRUE(check_next_chains(cfg).ok);
+}
+
+TEST(NodeStates, RejectsLWithN) {
+  // {L, N} is unreachable per Lemma 3.
+  Configuration cfg = quiescent_chain();
+  cfg.parent[0] = 0;
+  cfg.next[0] = 1;
+  const auto result = check_node_states(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("unreachable"), std::string::npos);
+}
+
+TEST(NodeStates, RejectsTokenWithoutSelfLoopOrNext) {
+  // A node holding the token with a non-self parent and no next pointer is
+  // not one of the five reachable states.
+  Configuration cfg = quiescent_chain();
+  cfg.token_at = 1;
+  EXPECT_FALSE(check_node_states(cfg).ok);
+}
+
+TEST(NodeStates, AcceptsAllFiveReachableStates) {
+  Configuration cfg;
+  // 0: {} (idle), 1: {L} requester, 2: {N} queued, 3: {L,T} holder,
+  // 4: {} forwarding node.
+  cfg.parent = {1, 1, 3, 3, 3};
+  cfg.next.assign(5, std::nullopt);
+  cfg.next[2] = 1;
+  cfg.token_at = 3;
+  EXPECT_TRUE(check_node_states(cfg).ok);
+}
+
+TEST(TopProgress, AcceptsFindInNetworkAndTokenInFlight) {
+  // Requester 0's find is in flight: its top (itself) has a find in the
+  // network -> pass.
+  EXPECT_TRUE(check_top_progress(one_find_in_flight()).ok);
+  // Token in flight to the chain's top also passes. The old root 3
+  // re-pointed at the requester when the find arrived (as the protocol
+  // does), so 0 is the only self-loop.
+  Configuration cfg = quiescent_chain();
+  cfg.parent[0] = 0;  // 0 requested earlier
+  cfg.parent[3] = 0;  // old root re-pointed per NewParent
+  cfg.token_at.reset();
+  cfg.token_in_flight = {{3, 0}};
+  EXPECT_TRUE(check_top_progress(cfg).ok);
+}
+
+TEST(TopProgress, DetectsOrphanedWaitingChain) {
+  // Node 0 has a self-loop and no token, no token in flight to it, and no
+  // find in the network: its waiting chain can never be served.
+  Configuration cfg = quiescent_chain();
+  cfg.parent[0] = 0;
+  // Patch the tree so BR stays plausible is unnecessary: check directly.
+  const auto result = check_top_progress(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("orphaned"), std::string::npos);
+}
+
+TEST(TopProgress, FollowsPreviousChainsToTheTop) {
+  // 0 <- 1 <- 2 via next pointers; top(2) = 0 whose find is in flight.
+  Configuration cfg = one_find_in_flight();
+  cfg.next[0] = 1;
+  cfg.next[1] = 2;
+  cfg.parent[1] = 0;  // keep states plausible-ish; only top logic matters
+  EXPECT_TRUE(check_top_progress(cfg).ok);
+}
+
+TEST(CheckAll, PassesOnLegalConfigs) {
+  EXPECT_TRUE(check_all(quiescent_chain()).ok);
+  EXPECT_TRUE(check_all(one_find_in_flight()).ok);
+}
+
+TEST(CheckAll, StopsAtFirstFailureWithDetail) {
+  Configuration cfg = quiescent_chain();
+  cfg.token_at.reset();
+  const auto result = check_all(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+TEST(WaitingSet, FollowsChains) {
+  Configuration cfg = quiescent_chain();
+  cfg.next[3] = 1;
+  cfg.next[1] = 0;
+  EXPECT_EQ(cfg.waiting_set(3), (std::vector<NodeId>{1, 0}));
+  EXPECT_EQ(cfg.previous(0), std::optional<NodeId>{1});
+  EXPECT_EQ(cfg.top(0), 3u);
+  EXPECT_EQ(cfg.top(3), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Tests for the request-latency analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/latency.hpp"
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(Latency, SingleRequestLatencyEqualsRoundTripTime) {
+  // Distance-proportional delays: find travels 4 units (4 hops of 1), the
+  // token returns over distance 4 -> latency 8.
+  const auto g = graph::make_path(5);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  proto::SimEngine engine(g, proto::chain_config(5), *policy, {});
+  engine.submit(0);
+  engine.run_until_idle();
+  const auto report = analysis::measure_latency(engine);
+  EXPECT_EQ(report.latency.count, 1u);
+  EXPECT_DOUBLE_EQ(report.latency.mean, 8.0);
+  EXPECT_EQ(report.unsatisfied, 0u);
+}
+
+TEST(Latency, UnsatisfiedRequestsAreCountedNotSummarized) {
+  const auto g = graph::make_path(4);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  proto::SimEngine engine(g, proto::chain_config(4), *policy, {});
+  engine.submit(0);  // leave in flight
+  const auto report = analysis::measure_latency(engine);
+  EXPECT_EQ(report.unsatisfied, 1u);
+  EXPECT_EQ(report.latency.count, 0u);
+}
+
+TEST(Latency, ConcurrentBurstHasSpreadAndFifoIsOrderly) {
+  const auto g = graph::make_ring(12);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  proto::SimEngine::Options options;
+  options.delay = sim::make_constant_delay(1.0);
+  proto::SimEngine engine(g, proto::ring_bridge_config(12), *policy,
+                          std::move(options));
+  support::Rng rng(7);
+  const auto arrivals = workload::poisson_arrivals(12, 6, 0.5, rng);
+  engine.run_concurrent(arrivals);
+  const auto report = analysis::measure_latency(engine);
+  EXPECT_EQ(report.latency.count, 6u);
+  EXPECT_GT(report.latency.max, 0.0);
+  EXPECT_GE(report.latency.p99, report.latency.p50);
+  EXPECT_GE(report.latency.max, report.latency.mean);
+}
+
+TEST(Latency, QueueDepthZeroForSequentialRuns) {
+  const auto g = graph::make_ring(8);
+  auto policy = proto::make_policy(proto::PolicyKind::kBridge);
+  proto::SimEngine engine(g, proto::ring_bridge_config(8), *policy, {});
+  support::Rng rng(3);
+  engine.run_sequential(workload::uniform_sequence(8, 20, rng));
+  const auto report = analysis::measure_latency(engine);
+  // Sequential service is FIFO: satisfaction order == submission order.
+  EXPECT_DOUBLE_EQ(report.queue_depth.max, 0.0);
+}
+
+}  // namespace

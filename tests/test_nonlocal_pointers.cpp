@@ -1,0 +1,118 @@
+// §7's generalization: "in the original Arrow or Ivy protocols, the parent
+// pointers ... must coincide with an edge of the original network. The Arvy
+// generalization gets rid of this assumption."
+//
+// These tests run the protocol with initial trees whose pointers are NOT
+// network edges (FRT embeddings of a ring, random trees over a grid) and
+// verify full correctness: Lemma 2 after every event, liveness, and cost
+// accounting by shortest-path distance for the long-range pointers.
+#include <gtest/gtest.h>
+
+#include "graph/frt.hpp"
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+#include "verify/liveness.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+// A spanning tree of the ring metric whose edges mostly aren't ring edges.
+proto::InitialConfig nonlocal_tree_config(const graph::Graph& g,
+                                          std::uint64_t seed) {
+  support::Rng rng(seed);
+  const auto frt = graph::sample_frt_tree(g, rng);
+  return proto::from_tree(frt.tree);
+}
+
+TEST(NonlocalPointers, FrtTreesContainNonEdges) {
+  const auto g = graph::make_ring(16);
+  const auto init = nonlocal_tree_config(g, 3);
+  std::size_t non_edges = 0;
+  for (NodeId v = 0; v < 16; ++v) {
+    if (init.parent[v] != v && !g.has_edge(v, init.parent[v])) ++non_edges;
+  }
+  // The embedding's long-range cluster pointers guarantee some non-edges;
+  // otherwise this test wouldn't exercise the generalization at all.
+  EXPECT_GT(non_edges, 0u);
+}
+
+TEST(NonlocalPointers, SequentialRunsStayCorrectAndCostByDistance) {
+  const auto g = graph::make_ring(16);
+  const auto init = nonlocal_tree_config(g, 5);
+  for (auto kind : {proto::PolicyKind::kArrow, proto::PolicyKind::kIvy,
+                    proto::PolicyKind::kMidpoint}) {
+    auto policy = proto::make_policy(kind);
+    proto::SimEngine engine(g, init, *policy, {});
+    support::Rng rng(7);
+    const auto seq = workload::uniform_sequence(16, 30, rng);
+    engine.run_sequential(seq);
+    EXPECT_EQ(engine.unsatisfied_count(), 0u)
+        << proto::policy_kind_name(kind);
+    const auto audit = verify::audit_liveness(engine);
+    EXPECT_TRUE(audit.ok) << audit.detail;
+  }
+}
+
+TEST(NonlocalPointers, InvariantsHoldUnderConcurrencyOnNonEdgeTrees) {
+  const auto g = graph::make_grid(3, 4);
+  support::Rng tree_rng(11);
+  // A uniformly random labelled tree over the grid's nodes - most of its
+  // edges are not grid edges.
+  const auto random_tree = graph::make_random_tree(12, tree_rng);
+  const auto init = proto::from_tree(bfs_tree(random_tree, 0));
+  std::size_t non_edges = 0;
+  for (NodeId v = 0; v < 12; ++v) {
+    if (init.parent[v] != v && !g.has_edge(v, init.parent[v])) ++non_edges;
+  }
+  ASSERT_GT(non_edges, 0u);
+
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  proto::SimEngine::Options options;
+  options.discipline = sim::Discipline::kRandom;
+  options.seed = 13;
+  proto::SimEngine engine(g, init, *policy, std::move(options));
+  engine.set_post_event_hook([&](const proto::SimEngine& eng) {
+    const auto check = verify::check_all(verify::capture(eng));
+    ASSERT_TRUE(check.ok) << check.detail;
+  });
+  support::Rng driver(17);
+  std::size_t submitted = 0;
+  while (submitted < 20 || !engine.bus().idle()) {
+    if (submitted < 20 && (engine.bus().idle() || driver.next_bool(0.5))) {
+      const auto v = static_cast<NodeId>(driver.next_below(12));
+      if (!engine.node(v).outstanding().has_value()) {
+        engine.submit(v);
+        ++submitted;
+      }
+    } else {
+      engine.step();
+    }
+  }
+  EXPECT_TRUE(verify::audit_liveness(engine).ok);
+}
+
+TEST(NonlocalPointers, CostChargesShortestPathForLongPointers) {
+  // A 2-node pointer hop across the ring costs the ring distance, not 1.
+  const auto g = graph::make_ring(8);
+  proto::InitialConfig init;
+  init.root = 4;
+  init.parent = {4, 0, 1, 2, 4, 4, 5, 6};  // p(0) = 4: an antipodal pointer
+  init.parent_edge_is_bridge.assign(8, false);
+  ASSERT_TRUE(init.is_valid_tree());
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  proto::SimEngine engine(g, init, *policy, {});
+  engine.submit(0);
+  engine.run_until_idle();
+  // Find hop 0 -> 4 is charged the shortest ring distance 4; the token
+  // returns over the same metric distance.
+  EXPECT_DOUBLE_EQ(engine.costs().find_distance, 4.0);
+  EXPECT_DOUBLE_EQ(engine.costs().token_distance, 4.0);
+}
+
+}  // namespace

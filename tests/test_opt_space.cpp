@@ -1,0 +1,69 @@
+// Experiment E12 at test scale: space accounting per policy - the paper's
+// "constant space per node" claim for the bridge policy vs the O(log n) of
+// hierarchical schemes (covered in test_hier).
+#include <gtest/gtest.h>
+
+#include "analysis/space.hpp"
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+analysis::SpaceReport run_and_measure(proto::PolicyKind kind, std::size_t n) {
+  const auto g = graph::make_ring(n);
+  const auto init = kind == proto::PolicyKind::kBridge
+                        ? proto::ring_bridge_config(n)
+                        : proto::from_tree(graph::bfs_tree(g, 0));
+  auto policy = proto::make_policy(kind, 2);
+  proto::SimEngine engine(g, init, *policy, {});
+  support::Rng rng(5);
+  const auto seq = workload::uniform_sequence(n, 30, rng);
+  engine.run_sequential(seq);
+  return analysis::measure_space(engine);
+}
+
+TEST(Space, ArrowAndIvyNeedOnlyBaseWords) {
+  for (auto kind : {proto::PolicyKind::kArrow, proto::PolicyKind::kIvy}) {
+    const auto report = run_and_measure(kind, 16);
+    EXPECT_EQ(report.policy_node_words, 0u);
+    EXPECT_EQ(report.total_node_words(), 4u);
+    EXPECT_FALSE(report.needs_full_path);
+    EXPECT_EQ(report.message_words_peak, report.message_words_constant);
+  }
+}
+
+TEST(Space, BridgeAddsOneFlagWordAndConstantMessages) {
+  const auto report = run_and_measure(proto::PolicyKind::kBridge, 16);
+  EXPECT_EQ(report.policy_node_words, 1u);
+  EXPECT_EQ(report.total_node_words(), 5u);
+  EXPECT_FALSE(report.needs_full_path);
+}
+
+TEST(Space, BridgeNodeSpaceIsConstantInN) {
+  // The headline claim: per-node words do not grow with the ring size.
+  const auto small = run_and_measure(proto::PolicyKind::kBridge, 8);
+  const auto large = run_and_measure(proto::PolicyKind::kBridge, 128);
+  EXPECT_EQ(small.total_node_words(), large.total_node_words());
+}
+
+TEST(Space, FullPathPoliciesReportPeakMessageSize) {
+  const auto report = run_and_measure(proto::PolicyKind::kMidpoint, 16);
+  EXPECT_TRUE(report.needs_full_path);
+  EXPECT_GT(report.message_words_peak, report.message_words_constant);
+}
+
+TEST(Space, PeakMessageSizeTracksLongestFind) {
+  const auto g = graph::make_complete(10);
+  auto policy = proto::make_policy(proto::PolicyKind::kRandom);
+  proto::SimEngine engine(g, proto::chain_config(10), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{0});  // visits the whole chain
+  const auto report = analysis::measure_space(engine);
+  EXPECT_EQ(report.message_words_peak, report.message_words_constant + 9);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the batch offline optimum (Held-Karp + greedy).
+#include <gtest/gtest.h>
+
+#include "analysis/opt.hpp"
+#include "analysis/ordering.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(ExactBatchOpt, EmptyBurstIsFree) {
+  const auto g = graph::make_path(4);
+  const graph::DistanceOracle oracle(g);
+  const auto result = analysis::exact_batch_opt(oracle, 1, {});
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+  EXPECT_TRUE(result.order.empty());
+}
+
+TEST(ExactBatchOpt, SingleTerminalIsItsDistance) {
+  const auto g = graph::make_path(6);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{5};
+  const auto result = analysis::exact_batch_opt(oracle, 1, terminals);
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+  EXPECT_EQ(result.order, terminals);
+}
+
+TEST(ExactBatchOpt, PathGraphVisitsNearSideFirst) {
+  // Start at 5 on a 11-path; terminals 3 and 9. Optimal: 5->3->9 = 2 + 6,
+  // not 5->9->3 = 4 + 6.
+  const auto g = graph::make_path(11);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{9, 3};
+  const auto result = analysis::exact_batch_opt(oracle, 5, terminals);
+  EXPECT_DOUBLE_EQ(result.cost, 8.0);
+  EXPECT_EQ(result.order, (std::vector<NodeId>{3, 9}));
+}
+
+TEST(ExactBatchOpt, DedupsTerminalsAndIgnoresStart) {
+  const auto g = graph::make_path(5);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{2, 2, 0, 0};
+  const auto result = analysis::exact_batch_opt(oracle, 0, terminals);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+  EXPECT_EQ(result.order, (std::vector<NodeId>{2}));
+}
+
+TEST(ExactBatchOpt, BeatsOrMatchesGreedyAlways) {
+  support::Rng rng(5);
+  const auto g = graph::make_connected_gnp(14, 0.25, rng);
+  const graph::DistanceOracle oracle(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<NodeId> terminals;
+    const std::size_t count = 2 + rng.next_below(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      terminals.push_back(static_cast<NodeId>(rng.next_below(14)));
+    }
+    const auto start = static_cast<NodeId>(rng.next_below(14));
+    const auto exact = analysis::exact_batch_opt(oracle, start, terminals);
+    const auto greedy = analysis::greedy_batch_cost(oracle, start, terminals);
+    EXPECT_LE(exact.cost, greedy.cost + 1e-9) << "trial " << trial;
+    // And dominates the MST lower bound.
+    EXPECT_GE(exact.cost + 1e-9,
+              analysis::opt_burst_lower_bound(oracle, start, terminals));
+  }
+}
+
+TEST(ExactBatchOpt, OrderCostIsConsistent) {
+  // Recomputing the cost along the returned order reproduces result.cost.
+  support::Rng rng(9);
+  const auto g = graph::make_grid(4, 4);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{0, 15, 12, 3, 10};
+  const auto result = analysis::exact_batch_opt(oracle, 5, terminals);
+  double replay = 0.0;
+  NodeId current = 5;
+  for (NodeId v : result.order) {
+    replay += oracle.distance(current, v);
+    current = v;
+  }
+  EXPECT_DOUBLE_EQ(replay, result.cost);
+  EXPECT_EQ(result.order.size(), 5u);
+}
+
+TEST(ExactBatchOpt, RingBurstHasKnownOptimum) {
+  // Ring of 12, start 0, terminals {1, 2, 11}: best is 11 -> 1 -> 2 (or the
+  // mirror) = 1 + 2 + 1 = 4.
+  const auto g = graph::make_ring(12);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{1, 2, 11};
+  const auto result = analysis::exact_batch_opt(oracle, 0, terminals);
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+}
+
+TEST(GreedyBatch, FollowsNearestNeighbour) {
+  const auto g = graph::make_path(10);
+  const graph::DistanceOracle oracle(g);
+  const std::vector<NodeId> terminals{9, 4, 6};
+  const auto result = analysis::greedy_batch_cost(oracle, 5, terminals);
+  EXPECT_EQ(result.order, (std::vector<NodeId>{4, 6, 9}));
+  EXPECT_DOUBLE_EQ(result.cost, 1.0 + 2.0 + 3.0);
+}
+
+TEST(ExactBatchOptDeath, TooManyTerminalsRejected) {
+  const auto g = graph::make_complete(25);
+  const graph::DistanceOracle oracle(g);
+  std::vector<NodeId> terminals;
+  for (NodeId v = 1; v < 23; ++v) terminals.push_back(v);
+  EXPECT_DEATH((void)analysis::exact_batch_opt(oracle, 0, terminals),
+               "exponential");
+}
+
+}  // namespace

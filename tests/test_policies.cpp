@@ -1,0 +1,170 @@
+// Unit tests for the NewParent policies (Algorithm 1 line 18's degree of
+// freedom) on synthetic contexts.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::proto;
+
+PolicyContext context(std::vector<NodeId>& visited, NodeId receiver = 9,
+                      bool bridge_flag = false) {
+  PolicyContext ctx;
+  ctx.receiver = receiver;
+  ctx.producer = visited.front();
+  ctx.sender = visited.back();
+  ctx.visited = visited;
+  ctx.sender_edge_was_bridge = bridge_flag;
+  return ctx;
+}
+
+TEST(ArrowPolicy, ReturnsSender) {
+  auto policy = make_policy(PolicyKind::kArrow);
+  std::vector<NodeId> visited{1, 4, 7};
+  const auto decision = policy->choose(context(visited));
+  EXPECT_EQ(decision.new_parent, 7u);
+  EXPECT_FALSE(decision.new_edge_is_bridge);
+  EXPECT_EQ(policy->name(), "arrow");
+  EXPECT_EQ(policy->node_state_words(), 0u);
+  EXPECT_EQ(policy->message_needs(), NewParentPolicy::MessageNeeds::kConstant);
+}
+
+TEST(IvyPolicy, ReturnsProducer) {
+  auto policy = make_policy(PolicyKind::kIvy);
+  std::vector<NodeId> visited{1, 4, 7};
+  EXPECT_EQ(policy->choose(context(visited)).new_parent, 1u);
+  EXPECT_EQ(policy->name(), "ivy");
+}
+
+TEST(BridgePolicy, ActsLikeArrowOffTheBridge) {
+  auto policy = make_policy(PolicyKind::kBridge);
+  std::vector<NodeId> visited{1, 4, 7};
+  const auto decision = policy->choose(context(visited, 9, false));
+  EXPECT_EQ(decision.new_parent, 7u);
+  EXPECT_FALSE(decision.new_edge_is_bridge);
+}
+
+TEST(BridgePolicy, ShortcutsAndMovesBridgeOnCrossing) {
+  auto policy = make_policy(PolicyKind::kBridge);
+  std::vector<NodeId> visited{1, 4, 7};
+  const auto decision = policy->choose(context(visited, 9, true));
+  EXPECT_EQ(decision.new_parent, 1u);  // the producer
+  EXPECT_TRUE(decision.new_edge_is_bridge);
+  EXPECT_EQ(policy->node_state_words(), 1u);  // the per-node bridge flag
+}
+
+TEST(RandomPolicy, AlwaysPicksFromVisited) {
+  auto policy = make_policy(PolicyKind::kRandom);
+  arvy::support::Rng rng(5);
+  std::vector<NodeId> visited{3, 8, 2, 11};
+  bool saw_non_endpoint = false;
+  for (int i = 0; i < 200; ++i) {
+    PolicyContext ctx = context(visited);
+    ctx.rng = &rng;
+    const NodeId pick = policy->choose(ctx).new_parent;
+    EXPECT_NE(std::find(visited.begin(), visited.end(), pick), visited.end());
+    if (pick == 8u || pick == 2u) saw_non_endpoint = true;
+  }
+  EXPECT_TRUE(saw_non_endpoint);
+  EXPECT_EQ(policy->message_needs(), NewParentPolicy::MessageNeeds::kFullPath);
+}
+
+TEST(MidpointPolicy, PicksMiddleOfPath) {
+  auto policy = make_policy(PolicyKind::kMidpoint);
+  std::vector<NodeId> odd{1, 2, 3, 4, 5};
+  EXPECT_EQ(policy->choose(context(odd)).new_parent, 3u);
+  std::vector<NodeId> even{1, 2, 3, 4};
+  EXPECT_EQ(policy->choose(context(even)).new_parent, 3u);
+  std::vector<NodeId> single{6};
+  EXPECT_EQ(policy->choose(context(single)).new_parent, 6u);
+}
+
+TEST(ClosestPolicy, PicksMetricallyNearestVisited) {
+  const auto g = arvy::graph::make_path(10);
+  const arvy::graph::DistanceOracle oracle(g);
+  auto policy = make_policy(PolicyKind::kClosest);
+  std::vector<NodeId> visited{0, 3, 6};
+  PolicyContext ctx = context(visited, /*receiver=*/7);
+  ctx.distances = &oracle;
+  EXPECT_EQ(policy->choose(ctx).new_parent, 6u);
+  ctx.receiver = 1;
+  EXPECT_EQ(policy->choose(ctx).new_parent, 0u);
+}
+
+TEST(KBackPolicy, WalksBackAlongPathAndClamps) {
+  std::vector<NodeId> visited{1, 2, 3, 4, 5};
+  auto k1 = make_policy(PolicyKind::kKBack, 1);
+  EXPECT_EQ(k1->choose(context(visited)).new_parent, 5u);  // k=1 is Arrow
+  auto k3 = make_policy(PolicyKind::kKBack, 3);
+  EXPECT_EQ(k3->choose(context(visited)).new_parent, 3u);
+  auto k99 = make_policy(PolicyKind::kKBack, 99);
+  EXPECT_EQ(k99->choose(context(visited)).new_parent, 1u);  // clamps to producer
+}
+
+TEST(PolicyFactory, NamesRoundTrip) {
+  for (PolicyKind kind : all_policy_kinds()) {
+    auto policy = make_policy(kind);
+    EXPECT_EQ(policy->name(), policy_kind_name(kind));
+  }
+}
+
+TEST(PolicyFactory, CloneIsIndependentAndSameKind) {
+  auto policy = make_policy(PolicyKind::kMidpoint);
+  auto copy = policy->clone();
+  EXPECT_EQ(copy->name(), policy->name());
+  std::vector<NodeId> visited{4, 5, 6};
+  EXPECT_EQ(copy->choose(context(visited)).new_parent,
+            policy->choose(context(visited)).new_parent);
+}
+
+TEST(PolicyFactory, AllKindsListedOnce) {
+  const auto kinds = all_policy_kinds();
+  EXPECT_EQ(kinds.size(), 8u);
+}
+
+TEST(SpectrumPolicy, EndpointsAreIvyAndArrow) {
+  std::vector<NodeId> visited{1, 2, 3, 4, 5};
+  EXPECT_EQ(make_spectrum_policy(0.0)->choose(context(visited)).new_parent,
+            1u);  // lambda=0: the producer (Ivy)
+  EXPECT_EQ(make_spectrum_policy(1.0)->choose(context(visited)).new_parent,
+            5u);  // lambda=1: the sender (Arrow)
+}
+
+TEST(SpectrumPolicy, MidDialRoundsToNearestPathPosition) {
+  std::vector<NodeId> visited{1, 2, 3, 4, 5};
+  EXPECT_EQ(make_spectrum_policy(0.5)->choose(context(visited)).new_parent,
+            3u);
+  EXPECT_EQ(make_spectrum_policy(0.25)->choose(context(visited)).new_parent,
+            2u);
+  std::vector<NodeId> single{9};
+  EXPECT_EQ(make_spectrum_policy(0.7)->choose(context(single)).new_parent,
+            9u);
+}
+
+TEST(SpectrumPolicy, DefaultFactoryDialIsMidpoint) {
+  auto policy = make_policy(PolicyKind::kSpectrum);
+  std::vector<NodeId> visited{1, 2, 3};
+  EXPECT_EQ(policy->choose(context(visited)).new_parent, 2u);
+  EXPECT_EQ(policy->name(), "spectrum");
+}
+
+TEST(SpectrumPolicyDeath, RejectsDialOutsideUnitInterval) {
+  EXPECT_DEATH((void)make_spectrum_policy(1.5), "lambda");
+}
+
+TEST(PolicyDeath, ClosestWithoutOracleAborts) {
+  auto policy = make_policy(PolicyKind::kClosest);
+  std::vector<NodeId> visited{1, 2};
+  EXPECT_DEATH((void)policy->choose(context(visited)), "oracle");
+}
+
+TEST(PolicyDeath, RandomWithoutRngAborts) {
+  auto policy = make_policy(PolicyKind::kRandom);
+  std::vector<NodeId> visited{1, 2};
+  EXPECT_DEATH((void)policy->choose(context(visited)), "rng");
+}
+
+}  // namespace

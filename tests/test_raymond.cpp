@@ -1,0 +1,153 @@
+// Tests for Raymond's tree-based mutual exclusion (the §2 predecessor
+// baseline): correctness under sequential and concurrent load, hop-by-hop
+// token movement, queue batching, and bounded per-node state.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "raymond/raymond.hpp"
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+raymond::RaymondEngine make_engine(const graph::Graph& g, NodeId root,
+                                   sim::Discipline d = sim::Discipline::kTimed,
+                                   std::uint64_t seed = 1) {
+  raymond::RaymondEngine::Options options;
+  options.discipline = d;
+  options.seed = seed;
+  return raymond::RaymondEngine(g, bfs_tree(g, root), std::move(options));
+}
+
+TEST(Raymond, InitialHolderIsTheRoot) {
+  const auto g = graph::make_path(5);
+  auto engine = make_engine(g, 2);
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{2});
+}
+
+TEST(Raymond, SingleRequestWalksTheTreePath) {
+  // Path 0-1-2-3-4, root 4. A request at 0: REQUEST travels 4 hops up, the
+  // token travels 4 hops down - 8 total distance, 4 messages each way.
+  const auto g = graph::make_path(5);
+  auto engine = make_engine(g, 4);
+  engine.submit(0);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{0});
+  EXPECT_DOUBLE_EQ(engine.costs().request_distance, 4.0);
+  EXPECT_DOUBLE_EQ(engine.costs().token_distance, 4.0);
+  EXPECT_EQ(engine.costs().request_messages, 4u);
+  EXPECT_EQ(engine.costs().token_messages, 4u);
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+}
+
+TEST(Raymond, HolderPointersReRootToTheNewHolder) {
+  const auto g = graph::make_path(4);
+  auto engine = make_engine(g, 3);
+  engine.submit(0);
+  engine.run_until_idle();
+  // Every node's holder chain must now lead to node 0.
+  for (NodeId v = 0; v < 4; ++v) {
+    NodeId u = v;
+    int hops = 0;
+    while (engine.node(u).holder != u) {
+      u = engine.node(u).holder;
+      ASSERT_LT(++hops, 5);
+    }
+    EXPECT_EQ(u, 0u);
+  }
+}
+
+TEST(Raymond, RequestAtHolderIsImmediate) {
+  const auto g = graph::make_path(3);
+  auto engine = make_engine(g, 1);
+  engine.submit(1);
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+  EXPECT_DOUBLE_EQ(engine.costs().total_distance(), 0.0);
+  EXPECT_TRUE(engine.bus().idle());
+}
+
+TEST(Raymond, SequentialSequenceAllSatisfiedInOrder) {
+  const auto g = graph::make_grid(3, 3);
+  auto engine = make_engine(g, 4);
+  const std::vector<NodeId> sequence{0, 8, 2, 6, 4};
+  engine.run_sequential(sequence);
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    EXPECT_TRUE(engine.requests()[i].satisfied_at.has_value());
+    EXPECT_EQ(engine.requests()[i].satisfaction_index, i + 1);
+  }
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{4});
+}
+
+TEST(Raymond, ConcurrentBurstAllSatisfiedUnderAdversary) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto g = graph::make_ring(8);
+    auto engine = make_engine(g, 0, sim::Discipline::kRandom, seed);
+    for (NodeId v : {1u, 3u, 4u, 6u, 7u}) engine.submit(v);
+    engine.run_until_idle();
+    EXPECT_EQ(engine.unsatisfied_count(), 0u) << "seed " << seed;
+    // Exactly one holder afterwards; nobody left asking.
+    ASSERT_TRUE(engine.token_holder().has_value());
+    for (NodeId v = 0; v < 8; ++v) {
+      EXPECT_FALSE(engine.node(v).outstanding.has_value());
+      EXPECT_TRUE(engine.node(v).request_queue.empty());
+    }
+  }
+}
+
+TEST(Raymond, QueueBatchingBoundsQueueDepth) {
+  // All leaves of a star request at once: the hub's queue holds each
+  // neighbour at most once - depth <= degree + 1.
+  const auto g = graph::make_star(9);
+  auto engine = make_engine(g, 0, sim::Discipline::kRandom, 3);
+  for (NodeId v = 1; v < 9; ++v) engine.submit(v);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+  EXPECT_LE(engine.max_queue_depth(), 9u);
+}
+
+TEST(Raymond, SubtreeBatchingSavesRequestTraffic) {
+  // Two deep requests in the same subtree: the second is absorbed by the
+  // first's pending upstream REQUEST, so total request messages are fewer
+  // than two full path lengths.
+  const auto g = graph::make_path(7);
+  auto engine = make_engine(g, 6, sim::Discipline::kLifo);
+  engine.submit(0);
+  engine.submit(1);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
+  // Independent requests would need 6 + 5 = 11 REQUEST hops; batching must
+  // beat that.
+  EXPECT_LT(engine.costs().request_messages, 11u);
+}
+
+TEST(Raymond, SequentialCostMatchesArrowTreePath) {
+  // Sequentially, both Raymond and Arrow walk the tree path; Raymond's
+  // token retraces the path hop-by-hop, so request+token = 2 * tree dist.
+  const auto g = graph::make_ring(10);
+  const auto tree = bfs_tree(g, 0);
+  raymond::RaymondEngine engine(g, tree, {});
+  support::Rng rng(5);
+  NodeId holder = 0;
+  double expected = 0.0;
+  const auto seq = workload::uniform_sequence(10, 15, rng);
+  for (NodeId v : seq) {
+    expected += 2.0 * tree.tree_distance(holder, v);
+    holder = v;
+  }
+  engine.run_sequential(seq);
+  EXPECT_DOUBLE_EQ(engine.costs().total_distance(), expected);
+}
+
+TEST(RaymondDeath, DuplicateOutstandingRequestAborts) {
+  const auto g = graph::make_path(4);
+  auto engine = make_engine(g, 3);
+  engine.submit(0);
+  EXPECT_DEATH(engine.submit(0), "duplicate");
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Experiment E13 at test scale: the threaded actor runtime - the same
+// protocol core under real OS-scheduler asynchrony.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "runtime/actor_system.hpp"
+#include "runtime/mailbox.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+TEST(Mailbox, PushPopFifoSingleThread) {
+  runtime::Mailbox<int> box;
+  box.push(1);
+  box.push(2);
+  EXPECT_EQ(box.size(), 2u);
+  EXPECT_EQ(box.pop(), std::optional<int>{1});
+  EXPECT_EQ(box.pop(), std::optional<int>{2});
+}
+
+TEST(Mailbox, CloseDrainsThenSignalsEnd) {
+  runtime::Mailbox<int> box;
+  box.push(7);
+  box.close();
+  EXPECT_EQ(box.pop(), std::optional<int>{7});
+  EXPECT_EQ(box.pop(), std::nullopt);
+}
+
+TEST(Mailbox, CrossThreadHandoff) {
+  runtime::Mailbox<int> box;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) box.push(i);
+    box.close();
+  });
+  int count = 0;
+  while (box.pop().has_value()) ++count;
+  producer.join();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ActorSystem, SingleRequestMovesToken) {
+  const auto g = graph::make_ring(6);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorSystem system(g, proto::from_tree(graph::bfs_tree(g, 0)),
+                              *policy);
+  system.request(3);
+  system.wait_for_satisfied(1);
+  system.shutdown();
+  EXPECT_TRUE(system.node(3).holds_token());
+  EXPECT_GT(system.total_cost(), 0.0);
+}
+
+TEST(ActorSystem, SequentialRoundsAllSatisfied) {
+  const auto g = graph::make_grid(3, 3);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  runtime::ActorOptions options;
+  options.seed = 3;
+  runtime::ActorSystem system(g, proto::from_tree(graph::bfs_tree(g, 4)),
+                              *policy, options);
+  std::uint64_t satisfied_target = 0;
+  support::Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    const auto v = static_cast<NodeId>(rng.next_below(9));
+    system.request(v);
+    system.wait_for_satisfied(++satisfied_target);
+  }
+  system.shutdown();
+  EXPECT_EQ(system.satisfied_count(), 10u);
+  EXPECT_EQ(system.submitted_count(), 10u);
+}
+
+TEST(ActorSystem, ConcurrentBurstWithJitterStaysCorrect) {
+  // Distinct nodes fire concurrently; sender-side jitter roughens the
+  // interleaving. Every request must be satisfied and afterwards the parent
+  // pointers must form a valid rooted tree with exactly one token.
+  const auto g = graph::make_ring(8);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorOptions options;
+  options.seed = 11;
+  options.max_jitter = std::chrono::microseconds(150);
+  runtime::ActorSystem system(g, proto::ring_bridge_config(8), *policy,
+                              options);
+  for (NodeId v : {0u, 1u, 2u, 5u, 6u, 7u}) system.request(v);
+  system.wait_for_satisfied(6);
+  system.shutdown();
+
+  std::size_t holders = 0;
+  for (NodeId v = 0; v < 8; ++v) {
+    if (system.node(v).holds_token()) ++holders;
+    EXPECT_FALSE(system.node(v).outstanding().has_value());
+  }
+  EXPECT_EQ(holders, 1u);
+  // Parent pointers form a tree rooted at the holder.
+  for (NodeId v = 0; v < 8; ++v) {
+    NodeId u = v;
+    int hops = 0;
+    while (system.node(u).parent() != u) {
+      u = system.node(u).parent();
+      ASSERT_LT(++hops, 9) << "parent cycle";
+    }
+    EXPECT_TRUE(system.node(u).holds_token());
+  }
+}
+
+TEST(ActorSystem, BridgePolicyStressRounds) {
+  const auto g = graph::make_ring(10);
+  auto policy = proto::make_policy(proto::PolicyKind::kBridge);
+  runtime::ActorOptions options;
+  options.seed = 17;
+  options.max_jitter = std::chrono::microseconds(50);
+  runtime::ActorSystem system(g, proto::ring_bridge_config(10), *policy,
+                              options);
+  std::uint64_t expected = 0;
+  support::Rng rng(23);
+  for (int round = 0; round < 6; ++round) {
+    std::set<NodeId> requesters;
+    while (requesters.size() < 4) {
+      requesters.insert(static_cast<NodeId>(rng.next_below(10)));
+    }
+    for (NodeId v : requesters) system.request(v);
+    expected += requesters.size();
+    system.wait_for_satisfied(expected);
+  }
+  system.shutdown();
+  EXPECT_EQ(system.satisfied_count(), expected);
+  // At most one bridge flag survives.
+  std::size_t bridges = 0;
+  for (NodeId v = 0; v < 10; ++v) {
+    bridges += system.node(v).parent_edge_is_bridge() ? 1 : 0;
+  }
+  EXPECT_LE(bridges, 1u);
+}
+
+TEST(ActorSystem, FindCostIsDistanceWeighted) {
+  // Chain of 5, request from the far end: find traffic costs exactly 4
+  // regardless of thread scheduling (the path is deterministic).
+  const auto g = graph::make_path(5);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  runtime::ActorSystem system(g, proto::chain_config(5), *policy);
+  system.request(0);
+  system.wait_for_satisfied(1);
+  system.shutdown();
+  EXPECT_DOUBLE_EQ(system.find_cost(), 4.0);
+  EXPECT_DOUBLE_EQ(system.total_cost(), 8.0);  // + token distance 4
+}
+
+TEST(ActorSystem, ReorderedMailboxesStayCorrect) {
+  // Random mailbox consumption order = full asynchrony: no channel FIFO at
+  // all. Everything must still be satisfied (Theorem 5's only assumption is
+  // eventual delivery).
+  const auto g = graph::make_ring(8);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorOptions options;
+  options.seed = 23;
+  options.reorder_mailboxes = true;
+  runtime::ActorSystem system(g, proto::ring_bridge_config(8), *policy,
+                              options);
+  std::uint64_t expected = 0;
+  support::Rng rng(29);
+  for (int round = 0; round < 5; ++round) {
+    std::set<NodeId> requesters;
+    while (requesters.size() < 3) {
+      requesters.insert(static_cast<NodeId>(rng.next_below(8)));
+    }
+    for (NodeId v : requesters) system.request(v);
+    expected += requesters.size();
+    system.wait_for_satisfied(expected);
+  }
+  system.shutdown();
+  EXPECT_EQ(system.satisfied_count(), expected);
+  std::size_t holders = 0;
+  for (NodeId v = 0; v < 8; ++v) {
+    holders += system.node(v).holds_token() ? 1 : 0;
+  }
+  EXPECT_EQ(holders, 1u);
+}
+
+TEST(ActorSystemDeath, InspectingLiveCoresAborts) {
+  const auto g = graph::make_path(3);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  runtime::ActorSystem system(g, proto::chain_config(3), *policy);
+  EXPECT_DEATH((void)system.node(0), "shutdown");
+  system.shutdown();
+}
+
+}  // namespace

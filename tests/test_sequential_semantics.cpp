@@ -1,0 +1,197 @@
+// Sequential-execution semantics of the three named protocols: Arrow keeps
+// the tree's edge set fixed, Ivy stars the visited path onto the requester,
+// and the bridge policy maintains Algorithm 2's two-semicircles structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::proto;
+using arvy::graph::NodeId;
+
+std::set<std::pair<NodeId, NodeId>> undirected_black_edges(
+    const SimEngine& engine) {
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < engine.node_count(); ++v) {
+    const NodeId p = engine.node(v).parent();
+    if (p != v) edges.insert({std::min(v, p), std::max(v, p)});
+  }
+  return edges;
+}
+
+TEST(ArrowSemantics, EdgeSetNeverChanges) {
+  // Arrow only reverses pointers along the request path; as an undirected
+  // edge set the tree is invariant under any sequential workload.
+  const auto g = arvy::graph::make_grid(3, 4);
+  const auto tree = arvy::graph::bfs_tree(g, 0);
+  auto policy = make_policy(PolicyKind::kArrow);
+  SimEngine engine(g, from_tree(tree), *policy, {});
+  const auto initial_edges = undirected_black_edges(engine);
+
+  arvy::support::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(g.node_count()));
+    engine.submit(v);
+    engine.run_until_idle();
+    EXPECT_EQ(undirected_black_edges(engine), initial_edges)
+        << "after request " << i;
+  }
+}
+
+TEST(ArrowSemantics, TokenEndsAtRequesterAndTreeRootsThere) {
+  const auto g = arvy::graph::make_path(6);
+  auto policy = make_policy(PolicyKind::kArrow);
+  SimEngine engine(g, chain_config(6), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{2});
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{2});
+  // Every node's parent chain now leads to 2.
+  for (NodeId v = 0; v < 6; ++v) {
+    NodeId u = v;
+    for (int hops = 0; hops < 8 && engine.node(u).parent() != u; ++hops) {
+      u = engine.node(u).parent();
+    }
+    EXPECT_EQ(u, 2u);
+  }
+}
+
+TEST(IvySemantics, VisitedPathStarsOntoRequester) {
+  // Chain 0->1->...->5(root). A request by 0 must leave every forwarding
+  // node (and the old root) pointing directly at 0.
+  const auto g = arvy::graph::make_complete(6);  // Ivy's native topology
+  auto policy = make_policy(PolicyKind::kIvy);
+  SimEngine engine(g, chain_config(6), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{0});
+  for (NodeId v = 1; v < 6; ++v) {
+    EXPECT_EQ(engine.node(v).parent(), 0u) << "node " << v;
+  }
+  EXPECT_EQ(engine.node(0).parent(), 0u);
+}
+
+TEST(IvySemantics, RepeatedRequestsKeepShallowTrees) {
+  const auto g = arvy::graph::make_complete(8);
+  auto policy = make_policy(PolicyKind::kIvy);
+  SimEngine engine(g, chain_config(8), *policy, {});
+  arvy::support::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(8));
+    engine.submit(v);
+    engine.run_until_idle();
+  }
+  // After an Ivy request the requester is the root; depth of any node is
+  // bounded by the longest chain that survived, far below n for random
+  // workloads. Weak but meaningful shape check: root exists and the
+  // structure is a valid tree (checked via parent-walk termination).
+  const auto holder = engine.token_holder();
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(engine.node(*holder).parent(), *holder);
+  for (NodeId v = 0; v < 8; ++v) {
+    NodeId u = v;
+    int hops = 0;
+    while (engine.node(u).parent() != u) {
+      u = engine.node(u).parent();
+      ASSERT_LT(++hops, 9);
+    }
+    EXPECT_EQ(u, *holder);
+  }
+}
+
+struct BridgeStructure {
+  std::size_t ring_edges = 0;
+  std::size_t bridges = 0;
+  NodeId bridge_child = arvy::graph::kInvalidNode;
+};
+
+BridgeStructure bridge_structure(const SimEngine& engine, std::size_t n) {
+  BridgeStructure s;
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId p = engine.node(v).parent();
+    if (p == v) continue;
+    const bool ring_edge =
+        (p == (v + 1) % n) || (v == (p + 1) % n);
+    if (engine.node(v).parent_edge_is_bridge()) {
+      ++s.bridges;
+      s.bridge_child = v;
+    } else if (ring_edge) {
+      ++s.ring_edges;
+    }
+  }
+  return s;
+}
+
+TEST(BridgeSemantics, MaintainsSemicirclesPlusOneBridge) {
+  // After every sequential request, the black edges are ring edges except
+  // for (at most) one bridge pointer, and there is never more than one
+  // bridge flag set (§6: "out of the two ends of the bridge, one end is
+  // always in set A and the other is always in set B").
+  constexpr std::size_t n = 12;
+  const auto g = arvy::graph::make_ring(n);
+  auto policy = make_policy(PolicyKind::kBridge);
+  SimEngine engine(g, ring_bridge_config(n), *policy, {});
+  arvy::support::Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    if (engine.node(v).holds_token()) continue;
+    engine.submit(v);
+    engine.run_until_idle();
+    const BridgeStructure s = bridge_structure(engine, n);
+    EXPECT_LE(s.bridges, 1u) << "after request " << i;
+    // n nodes: 1 self-loop (holder or last requester), so n-1 black edges;
+    // all but the bridge must coincide with ring edges.
+    EXPECT_EQ(s.ring_edges + s.bridges, n - 1) << "after request " << i;
+  }
+}
+
+TEST(BridgeSemantics, SequentialRequestOnSameSideStaysLocal) {
+  // Token at root 3 (n=8); a request at node 1 (same semicircle) must not
+  // touch the bridge: cost = find 2 + token 2.
+  const auto g = arvy::graph::make_ring(8);
+  auto policy = make_policy(PolicyKind::kBridge);
+  SimEngine engine(g, ring_bridge_config(8), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{1});
+  EXPECT_DOUBLE_EQ(engine.costs().find_distance, 2.0);
+  EXPECT_DOUBLE_EQ(engine.costs().token_distance, 2.0);
+  // The bridge is still (4, 3).
+  EXPECT_TRUE(engine.node(4).parent_edge_is_bridge());
+}
+
+TEST(BridgeSemantics, CrossSideRequestMovesBridgeToRequester) {
+  // Request at node 6 (other semicircle, n=8): the find walks 6->5->4,
+  // crosses the bridge (4, 3), and at 3 the crossing shortcuts to the
+  // producer: new bridge (3, 6).
+  const auto g = arvy::graph::make_ring(8);
+  auto policy = make_policy(PolicyKind::kBridge);
+  SimEngine engine(g, ring_bridge_config(8), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{6});
+  EXPECT_EQ(engine.node(3).parent(), 6u);
+  EXPECT_TRUE(engine.node(3).parent_edge_is_bridge());
+  // Exactly one bridge flag in the system.
+  std::size_t bridges = 0;
+  for (NodeId v = 0; v < 8; ++v) {
+    if (engine.node(v).parent_edge_is_bridge()) ++bridges;
+  }
+  EXPECT_EQ(bridges, 1u);
+  EXPECT_EQ(engine.token_holder(), std::optional<NodeId>{6});
+}
+
+TEST(MidpointSemantics, HalvesLongChains) {
+  // A request from the end of a long chain under the midpoint policy makes
+  // the repeat cost drop sharply (each pass halves the path).
+  const auto g = arvy::graph::make_complete(16);
+  auto policy = make_policy(PolicyKind::kMidpoint);
+  SimEngine engine(g, chain_config(16), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{0});
+  const double first = engine.costs().find_distance;
+  engine.run_sequential(std::vector<NodeId>{1});
+  engine.run_sequential(std::vector<NodeId>{0});
+  const double third = engine.costs().find_distance - first -
+                       0.0;  // cumulative; just require it grew modestly
+  EXPECT_LT(third, 2.0 * first);
+}
+
+}  // namespace

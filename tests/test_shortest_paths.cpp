@@ -1,0 +1,121 @@
+// Unit tests for Dijkstra, BFS, APSP, and the lazy distance oracle.
+#include <gtest/gtest.h>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/shortest_paths.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::graph;
+
+TEST(Dijkstra, PathGraphDistances) {
+  const Graph g = make_path(5);
+  const auto sp = dijkstra(g, 0);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(sp.distance[v], static_cast<double>(v));
+  }
+}
+
+TEST(Dijkstra, PrefersLighterDetour) {
+  // 0-1 weight 10; 0-2 weight 1; 2-1 weight 1 -> dist(0,1) = 2 via 2.
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[1], 2.0);
+  EXPECT_EQ(sp.parent[1], 2u);
+}
+
+TEST(Dijkstra, PathReconstruction) {
+  const Graph g = make_path(6);
+  const auto sp = dijkstra(g, 1);
+  const auto path = sp.path_to(4);
+  const std::vector<NodeId> expected{1, 2, 3, 4};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(Dijkstra, RingUsesShorterArc) {
+  const Graph g = make_ring(10);
+  const auto sp = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[3], 3.0);
+  EXPECT_DOUBLE_EQ(sp.distance[7], 3.0);  // around the other side
+  EXPECT_DOUBLE_EQ(sp.distance[5], 5.0);  // antipode
+}
+
+TEST(BfsHops, IgnoresWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 100.0);
+  g.add_edge(1, 2, 100.0);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[2], 2u);
+}
+
+TEST(DistanceMatrix, SymmetricAndZeroDiagonal) {
+  arvy::support::Rng rng(3);
+  const Graph g = make_connected_gnp(12, 0.3, rng);
+  const DistanceMatrix dm(g);
+  for (NodeId a = 0; a < 12; ++a) {
+    EXPECT_DOUBLE_EQ(dm.at(a, a), 0.0);
+    for (NodeId b = 0; b < 12; ++b) {
+      EXPECT_DOUBLE_EQ(dm.at(a, b), dm.at(b, a));
+    }
+  }
+}
+
+TEST(DistanceMatrix, DiameterOfRing) {
+  const Graph g = make_ring(12);
+  const DistanceMatrix dm(g);
+  EXPECT_DOUBLE_EQ(dm.diameter(), 6.0);
+}
+
+TEST(DistanceMatrix, TriangleInequality) {
+  arvy::support::Rng rng(5);
+  const Graph g = make_random_geometric(15, 0.4, rng);
+  const DistanceMatrix dm(g);
+  for (NodeId a = 0; a < 15; ++a) {
+    for (NodeId b = 0; b < 15; ++b) {
+      for (NodeId c = 0; c < 15; ++c) {
+        EXPECT_LE(dm.at(a, c), dm.at(a, b) + dm.at(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DistanceOracle, MatchesMatrix) {
+  arvy::support::Rng rng(7);
+  const Graph g = make_connected_gnp(10, 0.4, rng);
+  const DistanceMatrix dm(g);
+  const DistanceOracle oracle(g);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(oracle.distance(a, b), dm.at(a, b));
+    }
+  }
+}
+
+TEST(DistanceOracle, LazyCachingOnlyTouchedRows) {
+  const Graph g = make_ring(64);
+  const DistanceOracle oracle(g);
+  EXPECT_EQ(oracle.cached_rows(), 0u);
+  (void)oracle.distance(3, 40);
+  EXPECT_EQ(oracle.cached_rows(), 1u);
+  (void)oracle.distance(17, 3);  // reuses the cached row for node 3
+  EXPECT_EQ(oracle.cached_rows(), 1u);
+  oracle.prewarm_all();
+  EXPECT_EQ(oracle.cached_rows(), 64u);
+}
+
+TEST(DistanceOracle, ShortestPathEndpoints) {
+  const Graph g = make_grid(3, 3);
+  const DistanceOracle oracle(g);
+  const auto path = oracle.shortest_path(0, 8);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 8u);
+  EXPECT_EQ(path.size(), 5u);  // 4 hops on a 3x3 grid corner to corner
+}
+
+}  // namespace

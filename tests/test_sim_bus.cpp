@@ -1,0 +1,178 @@
+// Tests for the generic message bus: disciplines, exactly-once delivery,
+// manual stepping. Uses a toy payload to prove the substrate is
+// protocol-agnostic.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/bus.hpp"
+
+namespace {
+
+using arvy::sim::Discipline;
+using arvy::sim::MessageBus;
+
+struct ToyMsg {
+  int tag = 0;
+};
+
+using Bus = MessageBus<ToyMsg>;
+
+Bus::Options options(Discipline d, std::uint64_t seed = 1) {
+  Bus::Options o;
+  o.discipline = d;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Bus, FifoDeliversInSendOrder) {
+  Bus bus(options(Discipline::kFifo));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  for (int i = 0; i < 5; ++i) bus.send(0, 1, {i});
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Bus, LifoDeliversNewestFirst) {
+  Bus bus(options(Discipline::kLifo));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  for (int i = 0; i < 4; ++i) bus.send(0, 1, {i});
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{3, 2, 1, 0}));
+}
+
+TEST(Bus, RandomDeliversEveryMessageExactlyOnce) {
+  Bus bus(options(Discipline::kRandom, 99));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  for (int i = 0; i < 32; ++i) bus.send(0, 1, {i});
+  bus.run_until_idle();
+  ASSERT_EQ(seen.size(), 32u);
+  std::sort(seen.begin(), seen.end());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Bus, RandomOrderDependsOnSeed) {
+  auto run = [](std::uint64_t seed) {
+    Bus bus(options(Discipline::kRandom, seed));
+    std::vector<int> seen;
+    bus.set_handler(
+        [&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+    for (int i = 0; i < 16; ++i) bus.send(0, 1, {i});
+    bus.run_until_idle();
+    return seen;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Bus, TimedOrdersByDistanceDelay) {
+  // Default delay model is distance-proportional: the short message
+  // overtakes the long one even though it was sent second.
+  Bus bus(options(Discipline::kTimed));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  bus.send(0, 1, {0}, /*distance=*/10.0);
+  bus.send(0, 2, {1}, /*distance=*/1.0);
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(bus.now(), 10.0);
+}
+
+TEST(Bus, TimedTieBreaksBySendOrder) {
+  Bus bus(options(Discipline::kTimed));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  bus.send(0, 1, {7}, 3.0);
+  bus.send(0, 2, {8}, 3.0);
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{7, 8}));
+}
+
+TEST(Bus, HandlerMaySendMoreMessages) {
+  Bus bus(options(Discipline::kFifo));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) {
+    seen.push_back(m.payload.tag);
+    if (m.payload.tag < 3) bus.send(m.to, m.from, {m.payload.tag + 1});
+  });
+  bus.send(0, 1, {0});
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(bus.idle());
+}
+
+TEST(Bus, ManualDeliverySelectsSpecificMessage) {
+  Bus bus(options(Discipline::kFifo));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  const auto a = bus.send(0, 1, {10});
+  const auto b = bus.send(0, 1, {20});
+  bus.deliver(b);
+  EXPECT_EQ(seen, (std::vector<int>{20}));
+  EXPECT_EQ(bus.in_flight_count(), 1u);
+  bus.deliver(a);
+  EXPECT_EQ(seen, (std::vector<int>{20, 10}));
+  EXPECT_TRUE(bus.idle());
+}
+
+TEST(Bus, PendingSnapshotListsInFlight) {
+  Bus bus(options(Discipline::kFifo));
+  bus.set_handler([](const Bus::InFlight&) {});
+  bus.send(2, 3, {1});
+  bus.send(4, 5, {2});
+  const auto pending = bus.pending();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0]->from, 2u);
+  EXPECT_EQ(pending[1]->to, 5u);
+}
+
+TEST(Bus, AdvanceTimeMovesClockForward) {
+  Bus bus(options(Discipline::kTimed));
+  bus.set_handler([](const Bus::InFlight&) {});
+  bus.advance_time(12.5);
+  EXPECT_DOUBLE_EQ(bus.now(), 12.5);
+}
+
+TEST(Bus, StepReturnsFalseWhenIdle) {
+  Bus bus(options(Discipline::kFifo));
+  bus.set_handler([](const Bus::InFlight&) {});
+  EXPECT_FALSE(bus.step());
+  EXPECT_EQ(bus.deliveries(), 0u);
+}
+
+TEST(Bus, CountsDeliveries) {
+  Bus bus(options(Discipline::kFifo));
+  bus.set_handler([](const Bus::InFlight&) {});
+  bus.send(0, 1, {1});
+  bus.send(0, 1, {2});
+  bus.run_until_idle();
+  EXPECT_EQ(bus.deliveries(), 2u);
+}
+
+TEST(BusDeath, DeliveringUnknownIdAborts) {
+  Bus bus(options(Discipline::kFifo));
+  bus.set_handler([](const Bus::InFlight&) {});
+  EXPECT_DEATH(bus.deliver(123), "unknown");
+}
+
+TEST(Bus, UniformDelayModelBoundsLatency) {
+  Bus::Options o;
+  o.discipline = Discipline::kTimed;
+  o.seed = 3;
+  o.delay = arvy::sim::make_uniform_delay(1.0, 2.0);
+  Bus bus(std::move(o));
+  std::vector<double> at;
+  bus.set_handler([&](const Bus::InFlight& m) { at.push_back(m.deliver_at); });
+  for (int i = 0; i < 20; ++i) bus.send(0, 1, {i});
+  bus.run_until_idle();
+  for (double t : at) {
+    EXPECT_GE(t, 1.0);
+    EXPECT_LT(t, 2.0);
+  }
+}
+
+}  // namespace

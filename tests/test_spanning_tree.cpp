@@ -1,0 +1,146 @@
+// Unit tests for rooted spanning trees, stretch, MST, and metric summaries.
+#include <gtest/gtest.h>
+
+#include "graph/distance_oracle.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning_tree.hpp"
+#include "graph/tree_metrics.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy::graph;
+
+TEST(RootedTree, BfsTreeOnGridIsValid) {
+  const Graph g = make_grid(4, 4);
+  const RootedTree t = bfs_tree(g, 5);
+  EXPECT_TRUE(t.is_valid());
+  EXPECT_EQ(t.root, 5u);
+  EXPECT_EQ(t.parent[5], 5u);
+}
+
+TEST(RootedTree, DepthsMatchBfsHops) {
+  const Graph g = make_grid(3, 5);
+  const RootedTree t = bfs_tree(g, 0);
+  const auto depth = t.depths();
+  const auto hops = bfs_hops(g, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(depth[v], hops[v]);
+  }
+}
+
+TEST(RootedTree, TreeDistanceOnPath) {
+  const Graph g = make_path(7);
+  const RootedTree t = bfs_tree(g, 3);
+  EXPECT_DOUBLE_EQ(t.tree_distance(0, 6), 6.0);
+  EXPECT_DOUBLE_EQ(t.tree_distance(2, 4), 2.0);
+  EXPECT_DOUBLE_EQ(t.tree_distance(5, 5), 0.0);
+}
+
+TEST(RootedTree, WeightedDepthSumsEdgeWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  const RootedTree t = shortest_path_tree(g, 0);
+  EXPECT_DOUBLE_EQ(t.weighted_depth(2), 5.0);
+}
+
+TEST(RootedTree, AsGraphRoundTrip) {
+  const Graph g = make_ring(8);
+  const RootedTree t = bfs_tree(g, 0);
+  const Graph tg = t.as_graph();
+  EXPECT_EQ(tg.edge_count(), 7u);
+  EXPECT_TRUE(tg.is_connected());
+}
+
+TEST(ShortestPathTree, DistancesMatchDijkstra) {
+  arvy::support::Rng rng(3);
+  const Graph g = make_connected_gnp(15, 0.3, rng);
+  const RootedTree t = shortest_path_tree(g, 2);
+  const auto sp = dijkstra(g, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(t.weighted_depth(v), sp.distance[v]);
+  }
+}
+
+TEST(Mst, WeightOfKnownGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 3.0);
+  g.add_edge(3, 0, 4.0);
+  g.add_edge(0, 2, 5.0);
+  const RootedTree t = minimum_spanning_tree(g, 0);
+  EXPECT_TRUE(t.is_valid());
+  double total = 0.0;
+  for (NodeId v = 0; v < 4; ++v) total += t.parent_edge_weight[v];
+  EXPECT_DOUBLE_EQ(total, 6.0);  // edges 1 + 2 + 3
+}
+
+TEST(MetricMst, WeightOverTerminals) {
+  const Graph g = make_path(10);
+  const DistanceOracle oracle(g);
+  // Terminals 0, 5, 9 on a path: MST = 5 + 4.
+  const double w = metric_mst_weight({0, 5, 9}, oracle);
+  EXPECT_DOUBLE_EQ(w, 9.0);
+}
+
+TEST(MetricMst, SingleTerminalIsFree) {
+  const Graph g = make_path(4);
+  const DistanceOracle oracle(g);
+  EXPECT_DOUBLE_EQ(metric_mst_weight({2}, oracle), 0.0);
+}
+
+TEST(RingPathTree, DropsWrapEdgeAndOrients) {
+  const Graph g = make_ring(8);
+  const RootedTree t = ring_path_tree(g, 3);
+  EXPECT_TRUE(t.is_valid());
+  EXPECT_EQ(t.parent[2], 3u);
+  EXPECT_EQ(t.parent[4], 3u);
+  EXPECT_EQ(t.parent[0], 1u);
+  EXPECT_EQ(t.parent[7], 6u);
+  // Tree distance between the path ends is n-1, graph distance is 1.
+  EXPECT_DOUBLE_EQ(t.tree_distance(0, 7), 7.0);
+}
+
+TEST(Stretch, RingPathTreeHasStretchNMinusOne) {
+  const Graph g = make_ring(10);
+  const RootedTree t = ring_path_tree(g, 5);
+  const StretchReport report = max_stretch_pair(g, t);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 9.0);
+  // The attaining pair is the two path ends.
+  EXPECT_EQ(std::min(report.a, report.b), 0u);
+  EXPECT_EQ(std::max(report.a, report.b), 9u);
+}
+
+TEST(Stretch, TreeOnItselfHasStretchOne) {
+  arvy::support::Rng rng(5);
+  const Graph g = make_random_tree(12, rng);
+  const RootedTree t = bfs_tree(g, 0);
+  const StretchReport report = max_stretch_pair(g, t);
+  EXPECT_DOUBLE_EQ(report.max_stretch, 1.0);
+}
+
+TEST(Metrics, RingSummary) {
+  const Graph g = make_ring(12);
+  const MetricSummary s = metric_summary(g);
+  EXPECT_DOUBLE_EQ(s.diameter, 6.0);
+  EXPECT_DOUBLE_EQ(s.radius, 6.0);  // vertex-transitive
+}
+
+TEST(Metrics, PathCenterIsMiddle) {
+  const Graph g = make_path(9);
+  const MetricSummary s = metric_summary(g);
+  EXPECT_DOUBLE_EQ(s.diameter, 8.0);
+  EXPECT_DOUBLE_EQ(s.radius, 4.0);
+  EXPECT_EQ(s.center, 4u);
+}
+
+TEST(Metrics, EccentricitiesOfStar) {
+  const Graph g = make_star(6);
+  const auto ecc = eccentricities(g);
+  EXPECT_DOUBLE_EQ(ecc[0], 1.0);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(ecc[v], 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+// Tests for the Lemma 3 node-state machine audit.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/state_machine.hpp"
+
+namespace {
+
+using namespace arvy::verify;
+using arvy::graph::NodeId;
+
+Configuration chain(std::size_t n, NodeId root) {
+  Configuration cfg;
+  cfg.parent.resize(n);
+  cfg.next.assign(n, std::nullopt);
+  cfg.token_at = root;
+  for (NodeId v = 0; v < n; ++v) {
+    cfg.parent[v] = v < root ? v + 1 : (v > root ? v - 1 : v);
+  }
+  return cfg;
+}
+
+TEST(Classify, RecognisesTheFiveStates) {
+  Configuration cfg = chain(5, 4);
+  EXPECT_EQ(classify(cfg, 0), NodeState::kIdle);
+  EXPECT_EQ(classify(cfg, 4), NodeState::kLT);
+  cfg.parent[0] = 0;
+  EXPECT_EQ(classify(cfg, 0), NodeState::kL);
+  cfg.parent[0] = 1;
+  cfg.next[0] = 2;
+  EXPECT_EQ(classify(cfg, 0), NodeState::kN);
+  cfg.next[4] = 1;
+  cfg.parent[4] = 3;
+  EXPECT_EQ(classify(cfg, 4), NodeState::kTN);
+}
+
+TEST(Classify, FlagsUnreachableCombination) {
+  Configuration cfg = chain(3, 2);
+  cfg.parent[0] = 0;
+  cfg.next[0] = 1;  // {L, N}
+  EXPECT_EQ(classify(cfg, 0), NodeState::kUnreachable);
+}
+
+TEST(Audit, AcceptsLegalRequestTransition) {
+  Configuration cfg = chain(4, 3);
+  StateMachineAudit audit(cfg);
+  cfg.parent[0] = 0;  // node 0 requests: {} -> {L}
+  EXPECT_TRUE(audit.observe(cfg).ok);
+  EXPECT_EQ(audit.transitions_seen(), 1u);
+}
+
+TEST(Audit, AcceptsFullHandoverSequence) {
+  Configuration cfg = chain(4, 3);
+  StateMachineAudit audit(cfg);
+  // Event 1: node 0 requests: {} -> {L}.
+  cfg.parent[0] = 0;
+  EXPECT_TRUE(audit.observe(cfg).ok);
+  // Event 2: the find reaches holder 3, which re-points and releases the
+  // token (fused SendToken): {L,T} -> {}.
+  cfg.parent[3] = 0;
+  cfg.token_at.reset();
+  cfg.token_in_flight = {{3, 0}};
+  EXPECT_TRUE(audit.observe(cfg).ok);
+  // Event 3: the token arrives at 0 and is kept: {L} -> {L,T}.
+  cfg.token_in_flight.reset();
+  cfg.token_at = 0;
+  EXPECT_TRUE(audit.observe(cfg).ok);
+  EXPECT_EQ(audit.transitions_seen(), 3u);
+}
+
+TEST(Audit, RejectsIllegalJump) {
+  Configuration cfg = chain(4, 3);
+  StateMachineAudit audit(cfg);
+  cfg.next[0] = 1;  // {} -> {N} without requesting first
+  const auto result = audit.observe(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("illegal"), std::string::npos);
+}
+
+TEST(Audit, RejectsTwoSimultaneousChanges) {
+  Configuration cfg = chain(5, 4);
+  StateMachineAudit audit(cfg);
+  cfg.parent[0] = 0;
+  cfg.parent[1] = 1;  // two nodes request "in the same event"
+  const auto result = audit.observe(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("one node"), std::string::npos);
+}
+
+TEST(Audit, TracksAFullProtocolRun) {
+  const auto g = arvy::graph::make_path(5);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kArrow);
+  arvy::proto::SimEngine engine(g, arvy::proto::chain_config(5), *policy, {});
+  StateMachineAudit audit(capture(engine));
+  engine.set_post_event_hook([&](const arvy::proto::SimEngine& eng) {
+    const auto result = audit.observe(capture(eng));
+    ASSERT_TRUE(result.ok) << result.detail;
+  });
+  engine.run_sequential(std::vector<NodeId>{0, 3, 1});
+  // request + terminal-find + token-arrival transitions at least.
+  EXPECT_GE(audit.transitions_seen(), 6u);
+}
+
+TEST(AuditDeath, InitialStatesMustBeCleanTree) {
+  Configuration cfg = chain(3, 2);
+  cfg.parent[0] = 0;  // a pre-existing {L} state is not a legal start
+  EXPECT_DEATH(StateMachineAudit{cfg}, "initial states");
+}
+
+}  // namespace

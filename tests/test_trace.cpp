@@ -1,0 +1,124 @@
+// Tests for the structured event trace recorder.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+
+namespace {
+
+using namespace arvy::proto;
+using arvy::graph::NodeId;
+
+SimEngine traced_engine(const arvy::graph::Graph& g,
+                        const InitialConfig& init) {
+  auto policy = make_policy(PolicyKind::kArrow);
+  SimEngine::Options options;
+  options.record_trace = true;
+  return SimEngine(g, init, *policy, std::move(options));
+}
+
+TEST(Trace, DisabledByDefault) {
+  const auto g = arvy::graph::make_path(4);
+  auto policy = make_policy(PolicyKind::kArrow);
+  SimEngine engine(g, chain_config(4), *policy, {});
+  engine.run_sequential(std::vector<NodeId>{0});
+  EXPECT_EQ(engine.trace().size(), 0u);
+}
+
+TEST(Trace, RecordsEveryEventKindOfASimpleRun) {
+  const auto g = arvy::graph::make_path(4);
+  SimEngine engine = traced_engine(g, chain_config(4));
+  engine.run_sequential(std::vector<NodeId>{0});
+  // request, 3 find-sent, 3 find-recv, token-sent, token-recv = 9 events.
+  const auto& events = engine.trace().events();
+  ASSERT_EQ(events.size(), 9u);
+  EXPECT_EQ(events.front().kind, TraceEventKind::kRequest);
+  EXPECT_EQ(events.front().node, 0u);
+  EXPECT_EQ(events.back().kind, TraceEventKind::kTokenReceived);
+  EXPECT_EQ(events.back().node, 0u);
+  EXPECT_EQ(events.back().request, 1u);
+}
+
+TEST(Trace, DistanceTotalsMatchCostAccountant) {
+  const auto g = arvy::graph::make_ring(8);
+  SimEngine engine = traced_engine(g, ring_bridge_config(8));
+  engine.run_sequential(std::vector<NodeId>{0, 6, 2});
+  EXPECT_DOUBLE_EQ(engine.trace().total_distance(TraceEventKind::kFindSent),
+                   engine.costs().find_distance);
+  EXPECT_DOUBLE_EQ(engine.trace().total_distance(TraceEventKind::kTokenSent),
+                   engine.costs().token_distance);
+}
+
+TEST(Trace, ForRequestFollowsOneFindChain) {
+  const auto g = arvy::graph::make_path(5);
+  SimEngine engine = traced_engine(g, chain_config(5));
+  engine.run_sequential(std::vector<NodeId>{0, 2});
+  const auto chain = engine.trace().for_request(1);
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.front().kind, TraceEventKind::kRequest);
+  for (const auto& event : chain) {
+    EXPECT_EQ(event.request, 1u);
+  }
+  // The find by node 0 walks 0->1->2->3->4: 4 sent hops.
+  std::size_t sent = 0;
+  for (const auto& event : chain) {
+    if (event.kind == TraceEventKind::kFindSent) ++sent;
+  }
+  EXPECT_EQ(sent, 4u);
+}
+
+TEST(Trace, FindReceiveRecordsNewParent) {
+  const auto g = arvy::graph::make_path(4);
+  SimEngine engine = traced_engine(g, chain_config(4));
+  engine.run_sequential(std::vector<NodeId>{0});
+  bool saw_receive = false;
+  for (const auto& event : engine.trace().events()) {
+    if (event.kind == TraceEventKind::kFindReceived) {
+      saw_receive = true;
+      // Arrow: the receiver re-points at the hop's sender.
+      EXPECT_EQ(event.new_parent, event.from);
+    }
+  }
+  EXPECT_TRUE(saw_receive);
+}
+
+TEST(Trace, PrintProducesOneLinePerEvent) {
+  const auto g = arvy::graph::make_path(3);
+  SimEngine engine = traced_engine(g, chain_config(3));
+  engine.run_sequential(std::vector<NodeId>{0});
+  std::ostringstream os;
+  engine.trace().print(os);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, engine.trace().size());
+  EXPECT_NE(text.find("request"), std::string::npos);
+  EXPECT_NE(text.find("token-recv"), std::string::npos);
+  EXPECT_NE(text.find("find-sent"), std::string::npos);
+}
+
+TEST(Trace, EventKindNamesAreDistinct) {
+  EXPECT_STRNE(trace_event_kind_name(TraceEventKind::kRequest),
+               trace_event_kind_name(TraceEventKind::kFindSent));
+  EXPECT_STRNE(trace_event_kind_name(TraceEventKind::kTokenSent),
+               trace_event_kind_name(TraceEventKind::kTokenReceived));
+}
+
+TEST(Trace, ClearEmptiesTheLog) {
+  const auto g = arvy::graph::make_path(3);
+  SimEngine engine = traced_engine(g, chain_config(3));
+  engine.run_sequential(std::vector<NodeId>{0});
+  EXPECT_GT(engine.trace().size(), 0u);
+  // clear() is on the recorder; engines expose it read-only, so exercise a
+  // standalone recorder here.
+  TraceRecorder recorder;
+  recorder.record({});
+  EXPECT_EQ(recorder.size(), 1u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Unit tests for the workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy::workload;
+using arvy::support::Rng;
+
+TEST(Uniform, LengthAndRange) {
+  Rng rng(1);
+  const auto seq = uniform_sequence(10, 100, rng);
+  EXPECT_EQ(seq.size(), 100u);
+  for (NodeId v : seq) EXPECT_LT(v, 10u);
+}
+
+TEST(Uniform, AvoidsConsecutiveRepeats) {
+  Rng rng(2);
+  const auto seq = uniform_sequence(5, 200, rng);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    EXPECT_NE(seq[i], seq[i - 1]);
+  }
+}
+
+TEST(Uniform, RepeatsAllowedWhenRequested) {
+  Rng rng(3);
+  const auto seq = uniform_sequence(3, 500, rng, /*avoid_repeats=*/false);
+  bool repeat = false;
+  for (std::size_t i = 1; i < seq.size(); ++i) repeat |= seq[i] == seq[i - 1];
+  EXPECT_TRUE(repeat);
+}
+
+TEST(Zipf, HotNodeDominates) {
+  Rng rng(5);
+  const auto seq = zipf_sequence(20, 2000, 1.5, rng);
+  std::vector<int> counts(20, 0);
+  for (NodeId v : seq) ++counts[v];
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  EXPECT_GT(counts[0], counts[5] * 2);
+}
+
+TEST(RoundRobin, CyclesThroughNodes) {
+  const auto seq = round_robin_sequence(4, 10);
+  const std::vector<NodeId> expected{0, 1, 2, 3, 0, 1, 2, 3, 0, 1};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(Alternating, TwoNodesOnly) {
+  const auto seq = alternating_sequence(3, 7, 5);
+  const std::vector<NodeId> expected{3, 7, 3, 7, 3};
+  EXPECT_EQ(seq, expected);
+}
+
+TEST(LocalWalk, StepsStayWithinRadius) {
+  const auto g = arvy::graph::make_grid(5, 5);
+  Rng rng(7);
+  const auto seq = local_walk_sequence(g, 40, 2, rng);
+  EXPECT_EQ(seq.size(), 40u);
+  for (std::size_t i = 1; i < seq.size(); ++i) {
+    const auto hops = bfs_hops(g, seq[i - 1]);
+    EXPECT_LE(hops[seq[i]], 2u);
+    EXPECT_NE(seq[i], seq[i - 1]);
+  }
+}
+
+TEST(Poisson, ArrivalsAreSortedDistinctNodes) {
+  Rng rng(9);
+  const auto arrivals = poisson_arrivals(20, 12, 2.0, rng);
+  EXPECT_EQ(arrivals.size(), 12u);
+  std::set<NodeId> nodes;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    nodes.insert(arrivals[i].node);
+    if (i > 0) EXPECT_GE(arrivals[i].at, arrivals[i - 1].at);
+  }
+  EXPECT_EQ(nodes.size(), 12u);  // each node requests at most once
+}
+
+TEST(Poisson, MeanGapMatchesRate) {
+  Rng rng(11);
+  const auto arrivals = poisson_arrivals(3000, 3000, 4.0, rng);
+  const double span = arrivals.back().at;
+  EXPECT_NEAR(span / static_cast<double>(arrivals.size()), 0.25, 0.03);
+}
+
+TEST(Burst, AllAtTimeZero) {
+  const auto b = burst({3, 1, 4});
+  ASSERT_EQ(b.size(), 3u);
+  for (const auto& r : b) EXPECT_DOUBLE_EQ(r.at, 0.0);
+  EXPECT_EQ(b[0].node, 3u);
+}
+
+TEST(WorkloadDeath, PoissonRejectsMoreRequestsThanNodes) {
+  Rng rng(13);
+  EXPECT_DEATH((void)poisson_arrivals(5, 6, 1.0, rng), "count");
+}
+
+}  // namespace

@@ -1,0 +1,290 @@
+// arvy_cli - run directory protocols from the command line.
+//
+// Subcommands:
+//   gen  --graph <spec> [--out <file>]        emit an edge-list file
+//   info --graph <spec|file>                  topology metrics
+//   run  --graph <spec|file> --policy <name> --requests <N>
+//        [--workload uniform|zipf|local|roundrobin] [--seed <S>]
+//        [--concurrent <rate>] [--verify] [--trace] [--csv]
+//
+// Graph specs: ring:N, wring:N (weighted), path:N, star:N, complete:N,
+// grid:RxC, torus:RxC, hypercube:D, tree:N, gnp:N:P, geo:N:R - or a path to
+// an edge-list file written by `gen`.
+//
+// Examples:
+//   arvy_cli run --graph ring:64 --policy bridge --requests 200
+//   arvy_cli run --graph gnp:40:0.15 --policy ivy --concurrent 2.0 --verify
+//   arvy_cli gen --graph grid:6x6 --out mesh.graph && arvy_cli info --graph mesh.graph
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "analysis/competitive.hpp"
+#include "analysis/latency.hpp"
+#include "analysis/opt.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/tree_metrics.hpp"
+#include "proto/directory.hpp"
+#include "support/table.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+#include "verify/liveness.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "arvy_cli: %s\nsee the header of tools/arvy_cli.cpp for usage\n",
+               message.c_str());
+  std::exit(2);
+}
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::string require(const std::string& key) const {
+    auto value = get(key);
+    if (!value.has_value()) usage_error("missing --" + key);
+    return *value;
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values.count(key) > 0;
+  }
+};
+
+Flags parse_flags(int argc, char** argv, int start) {
+  Flags flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) usage_error("unexpected argument " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags.values[arg] = argv[++i];
+    } else {
+      flags.values[arg] = "1";  // boolean flag
+    }
+  }
+  return flags;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, sep)) out.push_back(part);
+  return out;
+}
+
+graph::Graph build_graph(const std::string& spec, std::uint64_t seed) {
+  // A file path (anything containing '/' or '.') loads an edge list.
+  if (spec.find('/') != std::string::npos ||
+      spec.find(".graph") != std::string::npos) {
+    std::ifstream in(spec);
+    if (!in) usage_error("cannot open graph file " + spec);
+    return graph::read_edge_list(in);
+  }
+  const auto parts = split(spec, ':');
+  const std::string& kind = parts[0];
+  support::Rng rng(seed);
+  auto num = [&](std::size_t index) -> std::size_t {
+    if (index >= parts.size()) usage_error("graph spec " + spec + " needs more parameters");
+    return std::stoul(parts[index]);
+  };
+  if (kind == "ring") return graph::make_ring(num(1));
+  if (kind == "wring") return graph::make_weighted_ring(num(1), rng, 0.5, 3.0);
+  if (kind == "path") return graph::make_path(num(1));
+  if (kind == "star") return graph::make_star(num(1));
+  if (kind == "complete") return graph::make_complete(num(1));
+  if (kind == "hypercube") return graph::make_hypercube(num(1));
+  if (kind == "tree") return graph::make_random_tree(num(1), rng);
+  if (kind == "grid" || kind == "torus") {
+    const auto dims = split(parts.size() > 1 ? parts[1] : "", 'x');
+    if (dims.size() != 2) usage_error("grid/torus spec needs RxC");
+    const std::size_t rows = std::stoul(dims[0]);
+    const std::size_t cols = std::stoul(dims[1]);
+    return kind == "grid" ? graph::make_grid(rows, cols)
+                          : graph::make_torus(rows, cols);
+  }
+  if (kind == "gnp") {
+    return graph::make_connected_gnp(num(1), std::stod(parts.at(2)), rng);
+  }
+  if (kind == "geo") {
+    return graph::make_random_geometric(num(1), std::stod(parts.at(2)), rng);
+  }
+  usage_error("unknown graph spec " + spec);
+}
+
+proto::PolicyKind parse_policy(const std::string& name) {
+  for (proto::PolicyKind kind : proto::all_policy_kinds()) {
+    if (name == proto::policy_kind_name(kind)) return kind;
+  }
+  usage_error("unknown policy " + name +
+              " (try: arrow ivy bridge random midpoint closest kback spectrum)");
+}
+
+std::vector<NodeId> build_workload(const std::string& kind,
+                                   const graph::Graph& g, std::size_t count,
+                                   support::Rng& rng) {
+  if (kind == "uniform") {
+    return workload::uniform_sequence(g.node_count(), count, rng);
+  }
+  if (kind == "zipf") {
+    return workload::zipf_sequence(g.node_count(), count, 1.2, rng);
+  }
+  if (kind == "local") {
+    return workload::local_walk_sequence(g, count, 2, rng);
+  }
+  if (kind == "roundrobin") {
+    return workload::round_robin_sequence(g.node_count(), count);
+  }
+  usage_error("unknown workload " + kind +
+              " (try: uniform zipf local roundrobin)");
+}
+
+int cmd_gen(const Flags& flags) {
+  const std::uint64_t seed =
+      flags.has("seed") ? std::stoull(flags.require("seed")) : 1;
+  const graph::Graph g = build_graph(flags.require("graph"), seed);
+  if (auto out = flags.get("out"); out.has_value()) {
+    std::ofstream file(*out);
+    if (!file) usage_error("cannot write " + *out);
+    graph::write_edge_list(g, file);
+    std::printf("wrote %zu nodes, %zu edges to %s\n", g.node_count(),
+                g.edge_count(), out->c_str());
+  } else {
+    graph::write_edge_list(g, std::cout);
+  }
+  return 0;
+}
+
+int cmd_info(const Flags& flags) {
+  const std::uint64_t seed =
+      flags.has("seed") ? std::stoull(flags.require("seed")) : 1;
+  const graph::Graph g = build_graph(flags.require("graph"), seed);
+  const auto metric = metric_summary(g);
+  std::printf("nodes:        %zu\n", g.node_count());
+  std::printf("edges:        %zu\n", g.edge_count());
+  std::printf("total weight: %.3f\n", g.total_weight());
+  std::printf("diameter:     %.3f\n", metric.diameter);
+  std::printf("radius:       %.3f (center: node %u)\n", metric.radius,
+              metric.center);
+  return 0;
+}
+
+int cmd_run(const Flags& flags) {
+  const std::uint64_t seed =
+      flags.has("seed") ? std::stoull(flags.require("seed")) : 1;
+  const graph::Graph g = build_graph(flags.require("graph"), seed);
+  const proto::PolicyKind policy_kind = parse_policy(flags.require("policy"));
+  const std::size_t count = std::stoul(flags.require("requests"));
+  support::Rng rng(seed + 100);
+
+  DirectoryOptions options;
+  options.policy = policy_kind;
+  options.seed = seed;
+  const proto::InitialConfig init = default_initial_config(g, policy_kind);
+  options.initial = init;
+  Directory directory(g, options);
+
+  // Optional invariant checking after every event.
+  std::size_t events = 0;
+  std::size_t violations = 0;
+  std::string first_violation;
+  if (flags.has("verify")) {
+    directory.engine().set_post_event_hook([&](const proto::SimEngine& eng) {
+      ++events;
+      const auto check = verify::check_all(verify::capture(eng));
+      if (!check.ok) {
+        ++violations;
+        if (first_violation.empty()) first_violation = check.detail;
+      }
+    });
+  }
+
+  double opt = 0.0;
+  if (flags.has("concurrent")) {
+    const double rate = std::stod(flags.require("concurrent"));
+    const std::size_t arrivals = std::min(count, g.node_count());
+    const auto requests =
+        workload::poisson_arrivals(g.node_count(), arrivals, rate, rng);
+    directory.engine().run_concurrent(requests);
+    std::vector<NodeId> requesters;
+    for (const auto& r : requests) requesters.push_back(r.node);
+    opt = analysis::opt_burst_lower_bound(directory.engine().oracle(),
+                                          init.root, requesters);
+  } else {
+    const std::string workload_kind =
+        flags.get("workload").value_or("uniform");
+    const auto sequence = build_workload(workload_kind, g, count, rng);
+    directory.engine().run_sequential(sequence);
+    opt = analysis::opt_sequential(directory.engine().oracle(), init.root,
+                                   sequence);
+  }
+
+  const auto& costs = directory.costs();
+  const auto liveness = verify::audit_liveness(directory.engine());
+  const auto latency = analysis::measure_latency(directory.engine());
+
+  support::Table table({"metric", "value"});
+  table.add_row({"policy", std::string(proto::policy_kind_name(policy_kind))});
+  table.add_row({"nodes", support::Table::cell(g.node_count())});
+  table.add_row({"requests",
+                 support::Table::cell(directory.requests().size())});
+  table.add_row({"find_distance", support::Table::cell(costs.find_distance, 1)});
+  table.add_row({"token_distance",
+                 support::Table::cell(costs.token_distance, 1)});
+  table.add_row({"find_messages", support::Table::cell(costs.find_messages)});
+  table.add_row({"token_messages", support::Table::cell(costs.token_messages)});
+  table.add_row({flags.has("concurrent") ? "opt_lower_bound" : "opt",
+                 support::Table::cell(opt, 1)});
+  if (opt > 0.0) {
+    table.add_row({"ratio_find_only",
+                   support::Table::cell(costs.find_distance / opt, 3)});
+  }
+  table.add_row({"latency_p50", support::Table::cell(latency.latency.p50, 2)});
+  table.add_row({"latency_p99", support::Table::cell(latency.latency.p99, 2)});
+  table.add_row({"liveness", liveness.ok ? "ok" : liveness.detail});
+  if (flags.has("verify")) {
+    table.add_row({"events_checked", support::Table::cell(events)});
+    table.add_row({"invariant_violations", support::Table::cell(violations)});
+  }
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  if (!first_violation.empty()) {
+    std::printf("first violation: %s\n", first_violation.c_str());
+    return 1;
+  }
+  return liveness.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_error("missing subcommand (gen | info | run)");
+  const std::string command = argv[1];
+  const Flags flags = parse_flags(argc, argv, 2);
+  if (command == "gen") return cmd_gen(flags);
+  if (command == "info") return cmd_info(flags);
+  if (command == "run") return cmd_run(flags);
+  usage_error("unknown subcommand " + command);
+}
