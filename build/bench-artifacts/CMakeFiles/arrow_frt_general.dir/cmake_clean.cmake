@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/arrow_frt_general"
+  "../bench/arrow_frt_general.pdb"
+  "CMakeFiles/arrow_frt_general.dir/arrow_frt_general.cpp.o"
+  "CMakeFiles/arrow_frt_general.dir/arrow_frt_general.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arrow_frt_general.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

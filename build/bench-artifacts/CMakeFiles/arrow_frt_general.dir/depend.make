@@ -1,0 +1,2 @@
+# Empty dependencies file for arrow_frt_general.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/concurrent_load"
+  "../bench/concurrent_load.pdb"
+  "CMakeFiles/concurrent_load.dir/concurrent_load.cpp.o"
+  "CMakeFiles/concurrent_load.dir/concurrent_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

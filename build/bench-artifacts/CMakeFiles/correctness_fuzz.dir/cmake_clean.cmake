@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/correctness_fuzz"
+  "../bench/correctness_fuzz.pdb"
+  "CMakeFiles/correctness_fuzz.dir/correctness_fuzz.cpp.o"
+  "CMakeFiles/correctness_fuzz.dir/correctness_fuzz.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correctness_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for correctness_fuzz.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cost_model"
+  "../bench/cost_model.pdb"
+  "CMakeFiles/cost_model.dir/cost_model.cpp.o"
+  "CMakeFiles/cost_model.dir/cost_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

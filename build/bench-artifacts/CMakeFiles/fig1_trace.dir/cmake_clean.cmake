@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_trace"
+  "../bench/fig1_trace.pdb"
+  "CMakeFiles/fig1_trace.dir/fig1_trace.cpp.o"
+  "CMakeFiles/fig1_trace.dir/fig1_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hier_vs_arvy_ring"
+  "../bench/hier_vs_arvy_ring.pdb"
+  "CMakeFiles/hier_vs_arvy_ring.dir/hier_vs_arvy_ring.cpp.o"
+  "CMakeFiles/hier_vs_arvy_ring.dir/hier_vs_arvy_ring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_vs_arvy_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

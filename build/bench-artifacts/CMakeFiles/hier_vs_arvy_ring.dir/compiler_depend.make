@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hier_vs_arvy_ring.
+# This may be replaced when dependencies are built.

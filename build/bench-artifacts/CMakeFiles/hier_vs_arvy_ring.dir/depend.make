@@ -1,0 +1,2 @@
+# Empty dependencies file for hier_vs_arvy_ring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ivy_complete_logn"
+  "../bench/ivy_complete_logn.pdb"
+  "CMakeFiles/ivy_complete_logn.dir/ivy_complete_logn.cpp.o"
+  "CMakeFiles/ivy_complete_logn.dir/ivy_complete_logn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivy_complete_logn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

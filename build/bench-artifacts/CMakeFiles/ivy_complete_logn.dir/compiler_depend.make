@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ivy_complete_logn.
+# This may be replaced when dependencies are built.

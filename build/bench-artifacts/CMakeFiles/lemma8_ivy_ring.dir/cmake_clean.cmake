@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lemma8_ivy_ring"
+  "../bench/lemma8_ivy_ring.pdb"
+  "CMakeFiles/lemma8_ivy_ring.dir/lemma8_ivy_ring.cpp.o"
+  "CMakeFiles/lemma8_ivy_ring.dir/lemma8_ivy_ring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma8_ivy_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

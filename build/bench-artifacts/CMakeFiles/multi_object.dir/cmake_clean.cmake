@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/multi_object"
+  "../bench/multi_object.pdb"
+  "CMakeFiles/multi_object.dir/multi_object.cpp.o"
+  "CMakeFiles/multi_object.dir/multi_object.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

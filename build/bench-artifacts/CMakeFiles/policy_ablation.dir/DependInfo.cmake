@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/policy_ablation.cpp" "bench-artifacts/CMakeFiles/policy_ablation.dir/policy_ablation.cpp.o" "gcc" "bench-artifacts/CMakeFiles/policy_ablation.dir/policy_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/arvy_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/arvy_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/arvy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/arvy_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/arvy_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hier/CMakeFiles/arvy_hier.dir/DependInfo.cmake"
+  "/root/repo/build/src/raymond/CMakeFiles/arvy_raymond.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arvy_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/policy_ablation"
+  "../bench/policy_ablation.pdb"
+  "CMakeFiles/policy_ablation.dir/policy_ablation.cpp.o"
+  "CMakeFiles/policy_ablation.dir/policy_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

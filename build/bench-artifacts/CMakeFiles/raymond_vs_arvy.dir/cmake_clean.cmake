@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/raymond_vs_arvy"
+  "../bench/raymond_vs_arvy.pdb"
+  "CMakeFiles/raymond_vs_arvy.dir/raymond_vs_arvy.cpp.o"
+  "CMakeFiles/raymond_vs_arvy.dir/raymond_vs_arvy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raymond_vs_arvy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for raymond_vs_arvy.
+# This may be replaced when dependencies are built.

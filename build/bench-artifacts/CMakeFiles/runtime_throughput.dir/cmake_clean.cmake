@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_throughput"
+  "../bench/runtime_throughput.pdb"
+  "CMakeFiles/runtime_throughput.dir/runtime_throughput.cpp.o"
+  "CMakeFiles/runtime_throughput.dir/runtime_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/space_audit"
+  "../bench/space_audit.pdb"
+  "CMakeFiles/space_audit.dir/space_audit.cpp.o"
+  "CMakeFiles/space_audit.dir/space_audit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/space_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/spectrum_sweep"
+  "../bench/spectrum_sweep.pdb"
+  "CMakeFiles/spectrum_sweep.dir/spectrum_sweep.cpp.o"
+  "CMakeFiles/spectrum_sweep.dir/spectrum_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm6_ring_unit"
+  "../bench/thm6_ring_unit.pdb"
+  "CMakeFiles/thm6_ring_unit.dir/thm6_ring_unit.cpp.o"
+  "CMakeFiles/thm6_ring_unit.dir/thm6_ring_unit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm6_ring_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm6_ring_unit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/thm7_ring_weighted"
+  "../bench/thm7_ring_weighted.pdb"
+  "CMakeFiles/thm7_ring_weighted.dir/thm7_ring_weighted.cpp.o"
+  "CMakeFiles/thm7_ring_weighted.dir/thm7_ring_weighted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm7_ring_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

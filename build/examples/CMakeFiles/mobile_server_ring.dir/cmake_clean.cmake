@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_server_ring.dir/mobile_server_ring.cpp.o"
+  "CMakeFiles/mobile_server_ring.dir/mobile_server_ring.cpp.o.d"
+  "mobile_server_ring"
+  "mobile_server_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_server_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobile_server_ring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_ordering.dir/transaction_ordering.cpp.o"
+  "CMakeFiles/transaction_ordering.dir/transaction_ordering.cpp.o.d"
+  "transaction_ordering"
+  "transaction_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_trace.dir/visualize_trace.cpp.o"
+  "CMakeFiles/visualize_trace.dir/visualize_trace.cpp.o.d"
+  "visualize_trace"
+  "visualize_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

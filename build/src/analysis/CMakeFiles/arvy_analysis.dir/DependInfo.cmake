@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/competitive.cpp" "src/analysis/CMakeFiles/arvy_analysis.dir/competitive.cpp.o" "gcc" "src/analysis/CMakeFiles/arvy_analysis.dir/competitive.cpp.o.d"
+  "/root/repo/src/analysis/latency.cpp" "src/analysis/CMakeFiles/arvy_analysis.dir/latency.cpp.o" "gcc" "src/analysis/CMakeFiles/arvy_analysis.dir/latency.cpp.o.d"
+  "/root/repo/src/analysis/opt.cpp" "src/analysis/CMakeFiles/arvy_analysis.dir/opt.cpp.o" "gcc" "src/analysis/CMakeFiles/arvy_analysis.dir/opt.cpp.o.d"
+  "/root/repo/src/analysis/ordering.cpp" "src/analysis/CMakeFiles/arvy_analysis.dir/ordering.cpp.o" "gcc" "src/analysis/CMakeFiles/arvy_analysis.dir/ordering.cpp.o.d"
+  "/root/repo/src/analysis/space.cpp" "src/analysis/CMakeFiles/arvy_analysis.dir/space.cpp.o" "gcc" "src/analysis/CMakeFiles/arvy_analysis.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/arvy_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/arvy_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arvy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_analysis.dir/competitive.cpp.o"
+  "CMakeFiles/arvy_analysis.dir/competitive.cpp.o.d"
+  "CMakeFiles/arvy_analysis.dir/latency.cpp.o"
+  "CMakeFiles/arvy_analysis.dir/latency.cpp.o.d"
+  "CMakeFiles/arvy_analysis.dir/opt.cpp.o"
+  "CMakeFiles/arvy_analysis.dir/opt.cpp.o.d"
+  "CMakeFiles/arvy_analysis.dir/ordering.cpp.o"
+  "CMakeFiles/arvy_analysis.dir/ordering.cpp.o.d"
+  "CMakeFiles/arvy_analysis.dir/space.cpp.o"
+  "CMakeFiles/arvy_analysis.dir/space.cpp.o.d"
+  "libarvy_analysis.a"
+  "libarvy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/distance_oracle.cpp" "src/graph/CMakeFiles/arvy_graph.dir/distance_oracle.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/distance_oracle.cpp.o.d"
+  "/root/repo/src/graph/frt.cpp" "src/graph/CMakeFiles/arvy_graph.dir/frt.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/frt.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/arvy_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/arvy_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/arvy_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/graph/CMakeFiles/arvy_graph.dir/shortest_paths.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/graph/spanning_tree.cpp" "src/graph/CMakeFiles/arvy_graph.dir/spanning_tree.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/spanning_tree.cpp.o.d"
+  "/root/repo/src/graph/tree_metrics.cpp" "src/graph/CMakeFiles/arvy_graph.dir/tree_metrics.cpp.o" "gcc" "src/graph/CMakeFiles/arvy_graph.dir/tree_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_graph.dir/distance_oracle.cpp.o"
+  "CMakeFiles/arvy_graph.dir/distance_oracle.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/frt.cpp.o"
+  "CMakeFiles/arvy_graph.dir/frt.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/generators.cpp.o"
+  "CMakeFiles/arvy_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/graph.cpp.o"
+  "CMakeFiles/arvy_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/io.cpp.o"
+  "CMakeFiles/arvy_graph.dir/io.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/shortest_paths.cpp.o"
+  "CMakeFiles/arvy_graph.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/spanning_tree.cpp.o"
+  "CMakeFiles/arvy_graph.dir/spanning_tree.cpp.o.d"
+  "CMakeFiles/arvy_graph.dir/tree_metrics.cpp.o"
+  "CMakeFiles/arvy_graph.dir/tree_metrics.cpp.o.d"
+  "libarvy_graph.a"
+  "libarvy_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

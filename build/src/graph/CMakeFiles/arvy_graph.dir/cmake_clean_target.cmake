@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarvy_graph.a"
+)

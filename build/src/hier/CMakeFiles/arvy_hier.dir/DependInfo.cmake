@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hier/cover.cpp" "src/hier/CMakeFiles/arvy_hier.dir/cover.cpp.o" "gcc" "src/hier/CMakeFiles/arvy_hier.dir/cover.cpp.o.d"
+  "/root/repo/src/hier/hier_directory.cpp" "src/hier/CMakeFiles/arvy_hier.dir/hier_directory.cpp.o" "gcc" "src/hier/CMakeFiles/arvy_hier.dir/hier_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_hier.dir/cover.cpp.o"
+  "CMakeFiles/arvy_hier.dir/cover.cpp.o.d"
+  "CMakeFiles/arvy_hier.dir/hier_directory.cpp.o"
+  "CMakeFiles/arvy_hier.dir/hier_directory.cpp.o.d"
+  "libarvy_hier.a"
+  "libarvy_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/core.cpp" "src/proto/CMakeFiles/arvy_proto.dir/core.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/core.cpp.o.d"
+  "/root/repo/src/proto/directory.cpp" "src/proto/CMakeFiles/arvy_proto.dir/directory.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/directory.cpp.o.d"
+  "/root/repo/src/proto/engine.cpp" "src/proto/CMakeFiles/arvy_proto.dir/engine.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/engine.cpp.o.d"
+  "/root/repo/src/proto/init.cpp" "src/proto/CMakeFiles/arvy_proto.dir/init.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/init.cpp.o.d"
+  "/root/repo/src/proto/policies.cpp" "src/proto/CMakeFiles/arvy_proto.dir/policies.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/policies.cpp.o.d"
+  "/root/repo/src/proto/trace.cpp" "src/proto/CMakeFiles/arvy_proto.dir/trace.cpp.o" "gcc" "src/proto/CMakeFiles/arvy_proto.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arvy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

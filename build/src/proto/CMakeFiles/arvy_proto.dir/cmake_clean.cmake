@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_proto.dir/core.cpp.o"
+  "CMakeFiles/arvy_proto.dir/core.cpp.o.d"
+  "CMakeFiles/arvy_proto.dir/directory.cpp.o"
+  "CMakeFiles/arvy_proto.dir/directory.cpp.o.d"
+  "CMakeFiles/arvy_proto.dir/engine.cpp.o"
+  "CMakeFiles/arvy_proto.dir/engine.cpp.o.d"
+  "CMakeFiles/arvy_proto.dir/init.cpp.o"
+  "CMakeFiles/arvy_proto.dir/init.cpp.o.d"
+  "CMakeFiles/arvy_proto.dir/policies.cpp.o"
+  "CMakeFiles/arvy_proto.dir/policies.cpp.o.d"
+  "CMakeFiles/arvy_proto.dir/trace.cpp.o"
+  "CMakeFiles/arvy_proto.dir/trace.cpp.o.d"
+  "libarvy_proto.a"
+  "libarvy_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_raymond.dir/raymond.cpp.o"
+  "CMakeFiles/arvy_raymond.dir/raymond.cpp.o.d"
+  "libarvy_raymond.a"
+  "libarvy_raymond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_raymond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arvy_raymond.
+# This may be replaced when dependencies are built.

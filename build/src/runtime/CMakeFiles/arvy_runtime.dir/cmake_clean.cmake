@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_runtime.dir/actor_system.cpp.o"
+  "CMakeFiles/arvy_runtime.dir/actor_system.cpp.o.d"
+  "libarvy_runtime.a"
+  "libarvy_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_sim.dir/delivery.cpp.o"
+  "CMakeFiles/arvy_sim.dir/delivery.cpp.o.d"
+  "libarvy_sim.a"
+  "libarvy_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_support.dir/assert.cpp.o"
+  "CMakeFiles/arvy_support.dir/assert.cpp.o.d"
+  "CMakeFiles/arvy_support.dir/log.cpp.o"
+  "CMakeFiles/arvy_support.dir/log.cpp.o.d"
+  "CMakeFiles/arvy_support.dir/rng.cpp.o"
+  "CMakeFiles/arvy_support.dir/rng.cpp.o.d"
+  "CMakeFiles/arvy_support.dir/stats.cpp.o"
+  "CMakeFiles/arvy_support.dir/stats.cpp.o.d"
+  "CMakeFiles/arvy_support.dir/table.cpp.o"
+  "CMakeFiles/arvy_support.dir/table.cpp.o.d"
+  "libarvy_support.a"
+  "libarvy_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/configuration.cpp" "src/verify/CMakeFiles/arvy_verify.dir/configuration.cpp.o" "gcc" "src/verify/CMakeFiles/arvy_verify.dir/configuration.cpp.o.d"
+  "/root/repo/src/verify/invariants.cpp" "src/verify/CMakeFiles/arvy_verify.dir/invariants.cpp.o" "gcc" "src/verify/CMakeFiles/arvy_verify.dir/invariants.cpp.o.d"
+  "/root/repo/src/verify/liveness.cpp" "src/verify/CMakeFiles/arvy_verify.dir/liveness.cpp.o" "gcc" "src/verify/CMakeFiles/arvy_verify.dir/liveness.cpp.o.d"
+  "/root/repo/src/verify/state_machine.cpp" "src/verify/CMakeFiles/arvy_verify.dir/state_machine.cpp.o" "gcc" "src/verify/CMakeFiles/arvy_verify.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/arvy_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arvy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_verify.dir/configuration.cpp.o"
+  "CMakeFiles/arvy_verify.dir/configuration.cpp.o.d"
+  "CMakeFiles/arvy_verify.dir/invariants.cpp.o"
+  "CMakeFiles/arvy_verify.dir/invariants.cpp.o.d"
+  "CMakeFiles/arvy_verify.dir/liveness.cpp.o"
+  "CMakeFiles/arvy_verify.dir/liveness.cpp.o.d"
+  "CMakeFiles/arvy_verify.dir/state_machine.cpp.o"
+  "CMakeFiles/arvy_verify.dir/state_machine.cpp.o.d"
+  "libarvy_verify.a"
+  "libarvy_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

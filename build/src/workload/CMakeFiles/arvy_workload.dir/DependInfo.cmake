@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/adversarial.cpp" "src/workload/CMakeFiles/arvy_workload.dir/adversarial.cpp.o" "gcc" "src/workload/CMakeFiles/arvy_workload.dir/adversarial.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/arvy_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/arvy_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/arvy_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/arvy_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/arvy_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arvy_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_workload.dir/adversarial.cpp.o"
+  "CMakeFiles/arvy_workload.dir/adversarial.cpp.o.d"
+  "CMakeFiles/arvy_workload.dir/workload.cpp.o"
+  "CMakeFiles/arvy_workload.dir/workload.cpp.o.d"
+  "libarvy_workload.a"
+  "libarvy_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

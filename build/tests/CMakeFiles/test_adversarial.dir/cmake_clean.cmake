@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adversarial.dir/test_adversarial.cpp.o"
+  "CMakeFiles/test_adversarial.dir/test_adversarial.cpp.o.d"
+  "test_adversarial"
+  "test_adversarial.pdb"
+  "test_adversarial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_sensitivity.dir/test_checker_sensitivity.cpp.o"
+  "CMakeFiles/test_checker_sensitivity.dir/test_checker_sensitivity.cpp.o.d"
+  "test_checker_sensitivity"
+  "test_checker_sensitivity.pdb"
+  "test_checker_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

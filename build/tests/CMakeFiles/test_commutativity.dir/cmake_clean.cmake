@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commutativity.dir/test_commutativity.cpp.o"
+  "CMakeFiles/test_commutativity.dir/test_commutativity.cpp.o.d"
+  "test_commutativity"
+  "test_commutativity.pdb"
+  "test_commutativity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commutativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

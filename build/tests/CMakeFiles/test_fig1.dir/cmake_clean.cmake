@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig1.dir/test_fig1.cpp.o"
+  "CMakeFiles/test_fig1.dir/test_fig1.cpp.o.d"
+  "test_fig1"
+  "test_fig1.pdb"
+  "test_fig1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

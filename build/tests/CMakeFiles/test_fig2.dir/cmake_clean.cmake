@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fig2.dir/test_fig2.cpp.o"
+  "CMakeFiles/test_fig2.dir/test_fig2.cpp.o.d"
+  "test_fig2"
+  "test_fig2.pdb"
+  "test_fig2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fig2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

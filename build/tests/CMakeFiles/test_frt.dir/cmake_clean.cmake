@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frt.dir/test_frt.cpp.o"
+  "CMakeFiles/test_frt.dir/test_frt.cpp.o.d"
+  "test_frt"
+  "test_frt.pdb"
+  "test_frt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

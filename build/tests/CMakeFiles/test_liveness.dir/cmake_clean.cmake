@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_liveness.dir/test_liveness.cpp.o"
+  "CMakeFiles/test_liveness.dir/test_liveness.cpp.o.d"
+  "test_liveness"
+  "test_liveness.pdb"
+  "test_liveness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

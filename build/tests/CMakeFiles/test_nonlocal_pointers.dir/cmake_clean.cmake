@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nonlocal_pointers.dir/test_nonlocal_pointers.cpp.o"
+  "CMakeFiles/test_nonlocal_pointers.dir/test_nonlocal_pointers.cpp.o.d"
+  "test_nonlocal_pointers"
+  "test_nonlocal_pointers.pdb"
+  "test_nonlocal_pointers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nonlocal_pointers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nonlocal_pointers.
+# This may be replaced when dependencies are built.

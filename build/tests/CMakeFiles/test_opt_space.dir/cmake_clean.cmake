@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt_space.dir/test_opt_space.cpp.o"
+  "CMakeFiles/test_opt_space.dir/test_opt_space.cpp.o.d"
+  "test_opt_space"
+  "test_opt_space.pdb"
+  "test_opt_space[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto_core.dir/test_proto_core.cpp.o"
+  "CMakeFiles/test_proto_core.dir/test_proto_core.cpp.o.d"
+  "test_proto_core"
+  "test_proto_core.pdb"
+  "test_proto_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raymond.dir/test_raymond.cpp.o"
+  "CMakeFiles/test_raymond.dir/test_raymond.cpp.o.d"
+  "test_raymond"
+  "test_raymond.pdb"
+  "test_raymond[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raymond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequential_semantics.dir/test_sequential_semantics.cpp.o"
+  "CMakeFiles/test_sequential_semantics.dir/test_sequential_semantics.cpp.o.d"
+  "test_sequential_semantics"
+  "test_sequential_semantics.pdb"
+  "test_sequential_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequential_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

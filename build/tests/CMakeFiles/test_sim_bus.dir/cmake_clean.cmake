@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_bus.dir/test_sim_bus.cpp.o"
+  "CMakeFiles/test_sim_bus.dir/test_sim_bus.cpp.o.d"
+  "test_sim_bus"
+  "test_sim_bus.pdb"
+  "test_sim_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spanning_tree.dir/test_spanning_tree.cpp.o"
+  "CMakeFiles/test_spanning_tree.dir/test_spanning_tree.cpp.o.d"
+  "test_spanning_tree"
+  "test_spanning_tree.pdb"
+  "test_spanning_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spanning_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

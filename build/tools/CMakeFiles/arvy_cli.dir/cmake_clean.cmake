@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arvy_cli.dir/arvy_cli.cpp.o"
+  "CMakeFiles/arvy_cli.dir/arvy_cli.cpp.o.d"
+  "arvy_cli"
+  "arvy_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arvy_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
