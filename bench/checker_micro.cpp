@@ -1,0 +1,99 @@
+// Micro-benchmarks (google-benchmark) of the Lemma-2 invariant checker -
+// the per-event cost that bounds how deep correctness_fuzz and the property
+// tests can push randomized concurrent executions in a fixed CI budget.
+#include <benchmark/benchmark.h>
+
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+// A legal configuration with `reds` concurrent finds, each with exactly two
+// green-candidate endpoints, so check_bg_trees enumerates 2^reds BG graphs.
+//
+// Layout: `reds` requester pairs (2j, 2j+1) where 2j self-looped and sent a
+// find (red edge) to chain node 2*reds + j; the remaining `extra` nodes form
+// a plain parent chain whose root holds the token. Every green choice
+// attaches pair j to its chain node, so all combinations are trees.
+verify::Configuration bg_config(std::size_t reds, std::size_t extra) {
+  const std::size_t n = 2 * reds + extra;
+  verify::Configuration cfg;
+  cfg.parent.resize(n);
+  cfg.next.assign(n, std::nullopt);
+  for (std::size_t v = 2 * reds; v + 1 < n; ++v) {
+    cfg.parent[v] = static_cast<NodeId>(v + 1);
+  }
+  cfg.parent[n - 1] = static_cast<NodeId>(n - 1);
+  cfg.token_at = static_cast<NodeId>(n - 1);
+  for (std::size_t j = 0; j < reds; ++j) {
+    const auto a = static_cast<NodeId>(2 * j);
+    const auto b = static_cast<NodeId>(2 * j + 1);
+    cfg.parent[a] = a;
+    cfg.parent[b] = a;
+    verify::RedEdge red;
+    red.tail = a;
+    red.head = static_cast<NodeId>(2 * reds + j);
+    red.producer = a;
+    red.visited = {a, b};
+    cfg.red_edges.push_back(std::move(red));
+  }
+  return cfg;
+}
+
+void BM_BgTreesExhaustive(benchmark::State& state) {
+  // 2^reds combinations over an n = 2*reds + 64 node configuration; the
+  // checker must prove every combination is a tree.
+  const auto reds = static_cast<std::size_t>(state.range(0));
+  const verify::Configuration cfg = bg_config(reds, 64);
+  for (auto _ : state) {
+    const auto result = verify::check_bg_trees(cfg);
+    if (!result.ok) state.SkipWithError(result.detail.c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(1ULL << reds));
+  state.SetLabel("combinations=" + std::to_string(1ULL << reds));
+}
+BENCHMARK(BM_BgTreesExhaustive)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_SourceComponents(benchmark::State& state) {
+  const auto reds = static_cast<std::size_t>(state.range(0));
+  const verify::Configuration cfg = bg_config(reds, 64);
+  for (auto _ : state) {
+    const auto result = verify::check_source_components(cfg);
+    if (!result.ok) state.SkipWithError(result.detail.c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SourceComponents)->Arg(4)->Arg(8);
+
+void BM_NextChains(benchmark::State& state) {
+  // One maximal waiting chain over n nodes: the worst case for the
+  // acyclicity walk.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  verify::Configuration cfg;
+  cfg.parent.resize(n);
+  cfg.next.assign(n, std::nullopt);
+  for (std::size_t v = 0; v + 1 < n; ++v) {
+    cfg.parent[v] = static_cast<NodeId>(v + 1);
+    cfg.next[v] = static_cast<NodeId>(v + 1);
+  }
+  cfg.parent[n - 1] = static_cast<NodeId>(n - 1);
+  cfg.token_at = static_cast<NodeId>(n - 1);
+  for (auto _ : state) {
+    const auto result = verify::check_next_chains(cfg);
+    if (!result.ok) state.SkipWithError(result.detail.c_str());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NextChains)->Arg(1024)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -32,6 +32,56 @@ void BM_BusSendDeliver(benchmark::State& state) {
 }
 BENCHMARK(BM_BusSendDeliver);
 
+void BM_BusSendDeliverRandom(benchmark::State& state) {
+  // Steady-state deliver+send with range(0) messages in flight under the
+  // random-adversary discipline: the cost of picking the k-th pending
+  // message in send order dominates (this is the headline bus benchmark).
+  struct Toy {
+    int x;
+  };
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::MessageBus<Toy>::Options options;
+  options.discipline = sim::Discipline::kRandom;
+  options.seed = 11;
+  sim::MessageBus<Toy> bus(std::move(options));
+  bus.set_handler([](const sim::MessageBus<Toy>::InFlight&) {});
+  for (std::size_t i = 0; i < depth; ++i) {
+    bus.send(0, 1, {static_cast<int>(i)});
+  }
+  for (auto _ : state) {
+    bus.step();
+    bus.send(0, 1, {0});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusSendDeliverRandom)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BusDropRefill(benchmark::State& state) {
+  // drop() + send() churn at depth range(0): exercises pending-set removal
+  // on ids that were never picked by the discipline.
+  struct Toy {
+    int x;
+  };
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  sim::MessageBus<Toy>::Options options;
+  options.discipline = sim::Discipline::kFifo;
+  sim::MessageBus<Toy> bus(std::move(options));
+  bus.set_handler([](const sim::MessageBus<Toy>::InFlight&) {});
+  std::vector<sim::MessageId> ids;
+  ids.reserve(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    ids.push_back(bus.send(0, 1, {static_cast<int>(i)}));
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    bus.drop(ids[cursor]);
+    ids[cursor] = bus.send(0, 1, {0});
+    cursor = (cursor + 1) % depth;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BusDropRefill)->Arg(1000);
+
 void BM_DijkstraRing(benchmark::State& state) {
   const auto g = graph::make_ring(static_cast<std::size_t>(state.range(0)));
   NodeId src = 0;
@@ -87,6 +137,32 @@ void BM_ConcurrentBurst(benchmark::State& state) {
       static_cast<std::int64_t>(n - 1));
 }
 BENCHMARK(BM_ConcurrentBurst)->Arg(16)->Arg(64);
+
+void BM_ConcurrentTimedArrivals(benchmark::State& state) {
+  // run_concurrent with range(0) timed arrivals on a ring of 2x that size:
+  // each arrival must locate the earliest pending delivery while traffic
+  // from earlier requests is still in flight.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 2 * m;
+  const auto g = graph::make_ring(n);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  support::Rng workload_rng(17);
+  const auto requests =
+      workload::poisson_arrivals(n, m, /*rate=*/4.0, workload_rng);
+  for (auto _ : state) {
+    state.PauseTiming();
+    proto::SimEngine::Options options;
+    options.discipline = sim::Discipline::kTimed;
+    options.seed = 5;
+    proto::SimEngine engine(g, proto::ring_bridge_config(n), *policy,
+                            std::move(options));
+    state.ResumeTiming();
+    engine.run_concurrent(requests);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_ConcurrentTimedArrivals)->Arg(128)->Arg(512);
 
 void BM_ActorRuntimeRound(benchmark::State& state) {
   // End-to-end threaded handoff latency: one request per iteration on an

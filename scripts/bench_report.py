@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Merge before/after google-benchmark JSON dumps into a machine-readable
+benchmark report (BENCH_<n>.json).
+
+Workflow (see EXPERIMENTS.md, "Benchmark regression workflow"):
+
+    # 1. capture the baseline on the pre-change tree
+    ./build/bench/runtime_throughput --benchmark_format=json > before_runtime.json
+    ./build/bench/checker_micro      --benchmark_format=json > before_checker.json
+    # 2. rebuild with the change, capture again
+    ./build/bench/runtime_throughput --benchmark_format=json > after_runtime.json
+    ./build/bench/checker_micro      --benchmark_format=json > after_checker.json
+    # 3. merge
+    scripts/bench_report.py --before before_runtime.json before_checker.json \
+        --after after_runtime.json after_checker.json --out BENCH_3.json
+
+Both captures must come from the same machine; the report embeds the
+benchmark context (host, CPU, build type) of each side so a cross-machine
+comparison is visible in review. Benchmarks present on only one side are
+reported with a null counterpart instead of being dropped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_side(paths):
+    """Returns (context, {name: benchmark-entry}) merged across files."""
+    context = None
+    entries = {}
+    for path in paths:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if context is None:
+            context = doc.get("context", {})
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench["name"]
+            if name in entries:
+                print(f"warning: duplicate benchmark {name!r} in {path}; "
+                      "keeping the first occurrence", file=sys.stderr)
+                continue
+            entries[name] = bench
+    return context or {}, entries
+
+
+def context_summary(context):
+    return {
+        "host_name": context.get("host_name"),
+        "num_cpus": context.get("num_cpus"),
+        "mhz_per_cpu": context.get("mhz_per_cpu"),
+        "cpu_scaling_enabled": context.get("cpu_scaling_enabled"),
+        "library_build_type": context.get("library_build_type"),
+        "date": context.get("date"),
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--before", nargs="+", required=True,
+                        help="google-benchmark JSON files for the baseline")
+    parser.add_argument("--after", nargs="+", required=True,
+                        help="google-benchmark JSON files for the change")
+    parser.add_argument("--out", required=True, help="report path to write")
+    args = parser.parse_args()
+
+    before_ctx, before = load_side(args.before)
+    after_ctx, after = load_side(args.after)
+
+    names = list(before)
+    names.extend(n for n in after if n not in before)
+
+    benchmarks = []
+    for name in names:
+        b = before.get(name)
+        a = after.get(name)
+        row = {
+            "name": name,
+            "time_unit": (a or b).get("time_unit", "ns"),
+            "before_real_time": b["real_time"] if b else None,
+            "after_real_time": a["real_time"] if a else None,
+            "before_cpu_time": b["cpu_time"] if b else None,
+            "after_cpu_time": a["cpu_time"] if a else None,
+            "speedup": None,
+        }
+        if b and a and a["real_time"] > 0:
+            row["speedup"] = round(b["real_time"] / a["real_time"], 3)
+        benchmarks.append(row)
+
+    comparable = [r for r in benchmarks if r["speedup"] is not None]
+    report = {
+        "schema": "arvy-bench-report/1",
+        "before_context": context_summary(before_ctx),
+        "after_context": context_summary(after_ctx),
+        "summary": {
+            "benchmark_count": len(benchmarks),
+            "compared": len(comparable),
+            "improved": sum(1 for r in comparable if r["speedup"] > 1.0),
+            "regressed": sum(1 for r in comparable if r["speedup"] < 0.95),
+        },
+        "benchmarks": benchmarks,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    width = max(len(r["name"]) for r in benchmarks)
+    for r in benchmarks:
+        speed = f"{r['speedup']:.2f}x" if r["speedup"] is not None else "n/a"
+        print(f"{r['name']:<{width}}  {speed:>9}")
+
+
+if __name__ == "__main__":
+    main()

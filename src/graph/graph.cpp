@@ -66,6 +66,12 @@ DisjointSets::DisjointSets(std::size_t n)
 
 std::size_t DisjointSets::find(std::size_t x) noexcept {
   ARVY_EXPECTS(x < parent_.size());
+  if (rollback_enabled_) {
+    // No compression: halving across a post-snapshot union would leave
+    // pointers that survive rollback (union by size keeps depth O(log n)).
+    while (parent_[x] != x) x = parent_[x];
+    return x;
+  }
   while (parent_[x] != x) {
     parent_[x] = parent_[parent_[x]];  // path halving
     x = parent_[x];
@@ -81,7 +87,21 @@ bool DisjointSets::unite(std::size_t x, std::size_t y) noexcept {
   parent_[ry] = rx;
   size_[rx] += size_[ry];
   --sets_;
+  if (rollback_enabled_) undo_.push_back(ry);
   return true;
+}
+
+void DisjointSets::rollback(std::size_t mark) noexcept {
+  ARVY_EXPECTS(rollback_enabled_);
+  ARVY_EXPECTS(mark <= undo_.size());
+  while (undo_.size() > mark) {
+    const std::size_t child = undo_.back();
+    undo_.pop_back();
+    const std::size_t root = parent_[child];
+    size_[root] -= size_[child];
+    parent_[child] = child;
+    ++sets_;
+  }
 }
 
 }  // namespace arvy::graph

@@ -71,6 +71,13 @@ class Graph {
 
 // Union-find with path halving and union by size; used by tree checks, MST,
 // and the invariant checker's component queries.
+//
+// Optional rollback: after enable_rollback(), every successful unite is
+// recorded on an undo stack and can be reverted with snapshot()/rollback().
+// While rollback is enabled, find() stops path-halving - compression across
+// a union made after a snapshot would leave parent pointers that survive
+// the rollback - so finds cost O(log n) (union by size bounds the depth).
+// Compression performed *before* enable_rollback() is safe and kept.
 class DisjointSets {
  public:
   explicit DisjointSets(std::size_t n);
@@ -83,10 +90,26 @@ class DisjointSets {
   }
   [[nodiscard]] std::size_t set_count() const noexcept { return sets_; }
 
+  // Switches to rollback mode (one-way): subsequent unites are undoable.
+  void enable_rollback() noexcept { rollback_enabled_ = true; }
+  [[nodiscard]] bool rollback_enabled() const noexcept {
+    return rollback_enabled_;
+  }
+  // A mark for rollback(); only unites made after the mark are reverted.
+  [[nodiscard]] std::size_t snapshot() const noexcept { return undo_.size(); }
+  // Reverts every unite made since the mark (LIFO). Precondition: rollback
+  // mode is enabled and `mark` came from snapshot() on this instance.
+  void rollback(std::size_t mark) noexcept;
+
  private:
   std::vector<std::size_t> parent_;
   std::vector<std::size_t> size_;
   std::size_t sets_;
+  // Roots absorbed by a unite since enable_rollback(), in order: undoing
+  // entry r restores parent_[r] = r and shrinks the absorbing root by
+  // size_[r] (r's own size is frozen while it is not a root).
+  std::vector<std::size_t> undo_;
+  bool rollback_enabled_ = false;
 };
 
 }  // namespace arvy::graph

@@ -1,7 +1,6 @@
 #include "proto/engine.hpp"
 
 #include <algorithm>
-#include <limits>
 
 #include "support/assert.hpp"
 
@@ -125,22 +124,11 @@ void SimEngine::run_concurrent(std::span<const TimedRequest> requests) {
                        requests.front().at >= bus_.now(),
                    "request times must not precede the current clock");
   for (const TimedRequest& request : requests) {
-    // Deliver everything due before this arrival. Under kTimed the bus pops
-    // in deliver_at order, so peeking via step() is time-faithful as long as
-    // we stop once the head is later than the arrival. The bus does not
-    // expose the head time directly; instead we advance the clock and rely
-    // on deliver_at ordering: deliveries with deliver_at <= at happen first.
-    while (!bus_.idle()) {
-      // Peek by delivering; MessageBus::now() jumps to the message's time.
-      // If that jump would overshoot the arrival we must submit first, so
-      // check against the earliest pending deliver_at.
-      sim::Time earliest = std::numeric_limits<sim::Time>::infinity();
-      for (const auto* entry : bus_.pending()) {
-        earliest = std::min(earliest, entry->deliver_at);
-      }
-      if (earliest > request.at) break;
-      bus_.step();
-    }
+    // Deliver everything due before this arrival: under kTimed the bus pops
+    // in deliver_at order, so stepping while the earliest pending delivery
+    // is at or before the arrival is time-faithful. next_deliver_at() is
+    // +infinity when idle, which also terminates the loop.
+    while (bus_.next_deliver_at() <= request.at) bus_.step();
     if (bus_.now() < request.at) bus_.advance_time(request.at);
     submit(request.node);
   }

@@ -8,11 +8,23 @@
 // Delivery order is controlled by a Discipline (see sim/delivery.hpp).
 // Whatever the discipline, every sent message is delivered exactly once
 // before the bus reports idle - the "reliable network" assumption.
+//
+// Internals: in-flight messages live in a slot arena recycled through a
+// free list, so steady-state traffic performs no per-message heap
+// allocation (the payload's own buffers are moved, never copied). Send
+// order is tracked by a window of slot indices keyed by message id with a
+// Fenwick tree counting the live entries, which makes every discipline's
+// pick O(log live) or better: kFifo/kLifo/kRandom select the k-th live
+// message in send order by Fenwick descent (the seed implementation paid
+// O(live) per kRandom pick via std::advance on a std::map), and kTimed
+// keeps its lazy min-heap. Delivery semantics are bit-identical to the
+// map-based implementation: kRandom draws the same index-in-send-order for
+// a given seed, so recorded schedules replay unchanged (guarded by
+// test_replay and test_golden_schedule).
 #pragma once
 
 #include <functional>
 #include <limits>
-#include <map>
 #include <queue>
 #include <vector>
 
@@ -72,20 +84,30 @@ class MessageBus {
   // only for the timed delay model). Returns the message id.
   MessageId send(NodeId from, NodeId to, Msg payload, double distance = 0.0) {
     const MessageId id = next_id_++;
-    InFlight entry{id,  from, to, std::move(payload), now_,
-                   0.0, distance};
+    const std::uint32_t slot = acquire_slot();
+    InFlight& entry = slots_[slot].entry;
+    entry.id = id;
+    entry.from = from;
+    entry.to = to;
+    entry.payload = std::move(payload);
+    entry.sent_at = now_;
+    entry.distance = distance;
     entry.deliver_at =
         now_ + (discipline_ == Discipline::kTimed
                     ? delay_->delay(from, to, distance, rng_)
                     : 0.0);
-    timed_heap_.push({entry.deliver_at, id});
-    pending_.emplace(id, std::move(entry));
+    slots_[slot].live = true;
+    ++live_count_;
+    push_order(slot);
+    if (discipline_ == Discipline::kTimed) {
+      timed_heap_.push({entry.deliver_at, id});
+    }
     return id;
   }
 
   // Delivers one message per the discipline. Returns false when idle.
   bool step() {
-    if (pending_.empty()) return false;
+    if (live_count_ == 0) return false;
     deliver_locked(pick_next());
     return true;
   }
@@ -93,7 +115,7 @@ class MessageBus {
   // Delivers a specific in-flight message (used by scripted replays such as
   // the Figure 1 trace).
   void deliver(MessageId id) {
-    ARVY_EXPECTS_MSG(pending_.count(id) == 1, "unknown or delivered message");
+    ARVY_EXPECTS_MSG(lookup(id) != kNoSlot, "unknown or delivered message");
     deliver_locked(id);
   }
 
@@ -102,9 +124,9 @@ class MessageBus {
   // on purpose - the negative tests use it to show the assumption is
   // load-bearing (a lost find or token breaks liveness).
   void drop(MessageId id) {
-    auto it = pending_.find(id);
-    ARVY_EXPECTS_MSG(it != pending_.end(), "unknown or delivered message");
-    pending_.erase(it);
+    const std::uint32_t slot = lookup(id);
+    ARVY_EXPECTS_MSG(slot != kNoSlot, "unknown or delivered message");
+    release(id, slot);
     ++dropped_;
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
@@ -122,19 +144,43 @@ class MessageBus {
   }
 
   [[nodiscard]] std::size_t in_flight_count() const noexcept {
-    return pending_.size();
+    return live_count_;
   }
-  [[nodiscard]] bool idle() const noexcept { return pending_.empty(); }
+  [[nodiscard]] bool idle() const noexcept { return live_count_ == 0; }
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
 
   // Snapshot of in-flight messages in send order (stable ids). Used by the
-  // invariant checker to reconstruct red edges.
+  // invariant checker to reconstruct red edges. The pointers are invalidated
+  // by the next send (the arena may grow); copy what you need.
   [[nodiscard]] std::vector<const InFlight*> pending() const {
     std::vector<const InFlight*> out;
-    out.reserve(pending_.size());
-    for (const auto& [id, entry] : pending_) out.push_back(&entry);
+    out.reserve(live_count_);
+    for (const std::uint32_t slot : window_) {
+      if (slot != kNoSlot) out.push_back(&slots_[slot].entry);
+    }
     return out;
+  }
+
+  // The earliest pending delivery - smallest deliver_at, ties by send order
+  // - or nullptr when idle, without materializing a pending() snapshot.
+  // Amortized O(1); the pointer is invalidated by the next send/delivery.
+  [[nodiscard]] const InFlight* peek() {
+    if (live_count_ == 0) return nullptr;
+    if (discipline_ == Discipline::kTimed) {
+      return &slots_[heap_top_slot()].entry;
+    }
+    // Outside kTimed, deliver_at is the clock at send time, which never
+    // decreases: the earliest pending delivery is the oldest live message.
+    return &slots_[window_[select_live(0)]].entry;
+  }
+
+  // Time of the earliest pending delivery, +infinity when idle. Lets
+  // drivers interleave timed arrivals without scanning the pending set.
+  [[nodiscard]] Time next_deliver_at() {
+    const InFlight* head = peek();
+    return head != nullptr ? head->deliver_at
+                           : std::numeric_limits<Time>::infinity();
   }
 
   // Advances the logical clock without delivering (used by drivers to space
@@ -145,35 +191,34 @@ class MessageBus {
   }
 
  private:
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
+  struct Slot {
+    InFlight entry{};
+    std::uint32_t next_free = kNoSlot;
+    bool live = false;
+  };
+
   MessageId pick_next() {
-    ARVY_ASSERT(!pending_.empty());
+    ARVY_ASSERT(live_count_ > 0);
     switch (discipline_) {
       case Discipline::kFifo:
-        return pending_.begin()->first;  // map is keyed by send order
+        return slots_[window_[select_live(0)]].entry.id;
       case Discipline::kLifo:
-        return pending_.rbegin()->first;
+        return slots_[window_[select_live(live_count_ - 1)]].entry.id;
       case Discipline::kRandom: {
-        const auto index = rng_.next_below(pending_.size());
-        auto it = pending_.begin();
-        std::advance(it, static_cast<std::ptrdiff_t>(index));
-        return it->first;
+        // Same draw as the seed implementation: a uniform index into the
+        // live set ordered by send order (schedules replay bit-for-bit).
+        const auto index = rng_.next_below(live_count_);
+        return slots_[window_[select_live(index)]].entry.id;
       }
-      case Discipline::kTimed: {
-        while (true) {
-          ARVY_ASSERT(!timed_heap_.empty());
-          const auto [at, id] = timed_heap_.top();
-          if (pending_.count(id) == 0) {
-            timed_heap_.pop();  // already delivered via deliver(id)
-            continue;
-          }
-          return id;
-        }
-      }
+      case Discipline::kTimed:
+        return slots_[heap_top_slot()].entry.id;
       case Discipline::kScripted: {
         ARVY_ASSERT_MSG(script_position_ < script_.size(),
                         "replay schedule exhausted with messages pending");
         const MessageId id = script_[script_position_++];
-        ARVY_ASSERT_MSG(pending_.count(id) == 1,
+        ARVY_ASSERT_MSG(lookup(id) != kNoSlot,
                         "replay schedule does not match this run's sends");
         return id;
       }
@@ -182,10 +227,10 @@ class MessageBus {
   }
 
   void deliver_locked(MessageId id) {
-    auto it = pending_.find(id);
-    ARVY_ASSERT(it != pending_.end());
-    InFlight entry = std::move(it->second);
-    pending_.erase(it);
+    const std::uint32_t slot = lookup(id);
+    ARVY_ASSERT(slot != kNoSlot);
+    InFlight entry = std::move(slots_[slot].entry);
+    release(id, slot);
     now_ = std::max(now_, entry.deliver_at);
     ++deliveries_;
     if (record_schedule_) recorded_.push_back(id);
@@ -193,11 +238,139 @@ class MessageBus {
     handler_(entry);
   }
 
+  // --- Slot arena ----------------------------------------------------------
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  // Slot index for a live message id, kNoSlot when unknown or delivered.
+  [[nodiscard]] std::uint32_t lookup(MessageId id) const {
+    if (id < window_base_id_) return kNoSlot;
+    const auto w = static_cast<std::size_t>(id - window_base_id_);
+    if (w >= window_.size()) return kNoSlot;
+    return window_[w];
+  }
+
+  // Retires a message: frees its slot and clears its send-order position.
+  void release(MessageId id, std::uint32_t slot) {
+    const auto w = static_cast<std::size_t>(id - window_base_id_);
+    window_[w] = kNoSlot;
+    fenwick_add(w, false);
+    slots_[slot].live = false;
+    slots_[slot].next_free = free_head_;
+    free_head_ = slot;
+    --live_count_;
+    if (live_count_ == 0) {
+      // Every Fenwick increment has been matched by a decrement, so the
+      // tree is all-zero: restart the window at the next id for free.
+      window_.clear();
+      window_base_id_ = next_id_;
+      return;
+    }
+    maybe_trim();
+  }
+
+  // --- Send-order window + Fenwick index -----------------------------------
+  //
+  // window_[id - window_base_id_] is the slot of message `id` (kNoSlot once
+  // retired); fenwick_ counts live entries so the k-th live message in send
+  // order is found by binary descent. The window only ever grows at the
+  // back; dead prefixes are trimmed once they cover half the window, and
+  // the whole window resets whenever the bus drains, so its footprint
+  // tracks the live population (a pathological forever-undelivered oldest
+  // message would pin it, but the reliability assumption - and
+  // run_until_idle - drain every message).
+
+  void push_order(std::uint32_t slot) {
+    window_.push_back(slot);
+    if (window_.size() > fenwick_cap_) {
+      rebuild_fenwick();  // doubles capacity; counts the new entry
+    } else {
+      fenwick_add(window_.size() - 1, true);
+    }
+  }
+
+  void fenwick_add(std::size_t pos, bool add) {
+    for (std::size_t i = pos + 1; i <= fenwick_cap_; i += i & (~i + 1)) {
+      fenwick_[i] += add ? 1u : ~0u;  // unsigned -1
+    }
+  }
+
+  // Position in window_ of the (k+1)-th live entry; precondition k < live.
+  [[nodiscard]] std::size_t select_live(std::size_t k) const {
+    std::size_t idx = 0;
+    std::size_t remaining = k + 1;
+    for (std::size_t step = fenwick_cap_; step > 0; step >>= 1) {
+      const std::size_t next = idx + step;
+      if (next <= fenwick_cap_ && fenwick_[next] < remaining) {
+        idx = next;
+        remaining -= fenwick_[next];
+      }
+    }
+    ARVY_ASSERT(idx < window_.size());
+    return idx;
+  }
+
+  void rebuild_fenwick() {
+    std::size_t cap = 64;
+    while (cap < window_.size()) cap *= 2;
+    fenwick_cap_ = cap;
+    fenwick_.assign(cap + 1, 0);
+    for (std::size_t w = 0; w < window_.size(); ++w) {
+      if (window_[w] != kNoSlot) fenwick_[w + 1] += 1;
+    }
+    for (std::size_t i = 1; i <= cap; ++i) {
+      const std::size_t parent = i + (i & (~i + 1));
+      if (parent <= cap) fenwick_[parent] += fenwick_[i];
+    }
+  }
+
+  void maybe_trim() {
+    if (window_.size() < 64) return;
+    const std::size_t first = select_live(0);
+    if (first * 2 < window_.size()) return;
+    window_.erase(window_.begin(),
+                  window_.begin() + static_cast<std::ptrdiff_t>(first));
+    window_base_id_ += first;
+    rebuild_fenwick();
+  }
+
+  // --- Timed discipline ----------------------------------------------------
+
+  // Heap top that is still in flight (entries for messages delivered via
+  // deliver(id) are discarded lazily).
+  std::uint32_t heap_top_slot() {
+    while (true) {
+      ARVY_ASSERT(!timed_heap_.empty());
+      const std::uint32_t slot = lookup(timed_heap_.top().second);
+      if (slot == kNoSlot) {
+        timed_heap_.pop();
+        continue;
+      }
+      return slot;
+    }
+  }
+
   Discipline discipline_;
   support::Rng rng_;
   std::unique_ptr<DelayModel> delay_;
   Handler handler_;
-  std::map<MessageId, InFlight> pending_;  // keyed by send order
+
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::size_t live_count_ = 0;
+  std::vector<std::uint32_t> window_;
+  std::vector<std::uint32_t> fenwick_;  // 1-indexed, fenwick_cap_ + 1 wide
+  std::size_t fenwick_cap_ = 0;
+  MessageId window_base_id_ = 1;
+
   using HeapEntry = std::pair<Time, MessageId>;
   struct HeapCompare {
     bool operator()(const HeapEntry& a, const HeapEntry& b) const noexcept {

@@ -78,6 +78,29 @@ CheckResult check_bg_trees(const Configuration& cfg,
     return directionless_tree(cfg.node_count(), blacks, "BG");
   }
 
+  // Incremental enumeration: every BG graph shares the same black edges, so
+  // the edge-count test and the black unions run once; each green-choice
+  // combination then pushes only the `reds` green edges onto a rollback
+  // DisjointSets and pops them - O(reds * alpha) per combination instead of
+  // rebuilding the full edge vector and re-uniting n-1 black edges.
+  const std::size_t n = cfg.node_count();
+  if (blacks.size() + reds != n - 1) {
+    std::ostringstream os;
+    os << "BG: " << blacks.size() + reds << " edges for " << n
+       << " nodes (want n-1)";
+    return CheckResult::fail(os.str());
+  }
+  DisjointSets dsu(n);
+  for (const UndirectedEdge& e : blacks) {
+    if (!dsu.unite(e.a, e.b)) {
+      std::ostringstream os;
+      os << "BG: cycle through edge {" << e.a << ", " << e.b << "}";
+      return CheckResult::fail(os.str());
+    }
+  }
+  dsu.enable_rollback();
+  const std::size_t base = dsu.snapshot();
+
   std::vector<std::vector<NodeId>> candidates(reds);
   std::size_t combinations = 1;
   bool overflow = false;
@@ -92,21 +115,25 @@ CheckResult check_bg_trees(const Configuration& cfg,
   }
 
   auto check_choice = [&](const std::vector<std::size_t>& choice) {
-    std::vector<UndirectedEdge> edges = blacks;
+    CheckResult result = CheckResult::pass();
     for (std::size_t i = 0; i < reds; ++i) {
-      edges.push_back(
-          {cfg.red_edges[i].head, candidates[i][choice[i]]});
-    }
-    CheckResult result = directionless_tree(cfg.node_count(), edges, "BG");
-    if (!result.ok) {
-      std::ostringstream os;
-      os << result.detail << " [green choice:";
-      for (std::size_t i = 0; i < reds; ++i) {
-        os << " r" << i << "->" << candidates[i][choice[i]];
+      const NodeId head = cfg.red_edges[i].head;
+      const NodeId green = candidates[i][choice[i]];
+      if (!dsu.unite(head, green)) {
+        std::ostringstream os;
+        os << "BG: cycle through edge {" << head << ", " << green
+           << "} [green choice:";
+        for (std::size_t j = 0; j < reds; ++j) {
+          os << " r" << j << "->" << candidates[j][choice[j]];
+        }
+        os << "]";
+        result = CheckResult::fail(os.str());
+        break;
       }
-      os << "]";
-      result.detail = os.str();
     }
+    // n-1 acyclic edges connect everything.
+    if (result.ok) ARVY_ASSERT(dsu.set_count() == 1);
+    dsu.rollback(base);
     return result;
   };
 
@@ -147,10 +174,15 @@ CheckResult check_bg_trees(const Configuration& cfg,
 CheckResult check_source_components(const Configuration& cfg) {
   if (CheckResult r = check_br_tree(cfg); !r.ok) return r;
   const std::vector<UndirectedEdge> blacks = black_edges(cfg);
+  // The black edges are common to every skip: unite them once and roll the
+  // per-skip red unions back instead of rebuilding the forest each round.
+  DisjointSets dsu(cfg.node_count());
+  for (const UndirectedEdge& e : blacks) dsu.unite(e.a, e.b);
+  dsu.enable_rollback();
+  const std::size_t base = dsu.snapshot();
   for (std::size_t skip = 0; skip < cfg.red_edges.size(); ++skip) {
     // Components of the BR tree with red edge `skip` removed.
-    DisjointSets dsu(cfg.node_count());
-    for (const UndirectedEdge& e : blacks) dsu.unite(e.a, e.b);
+    dsu.rollback(base);
     for (std::size_t i = 0; i < cfg.red_edges.size(); ++i) {
       if (i != skip) dsu.unite(cfg.red_edges[i].tail, cfg.red_edges[i].head);
     }
@@ -201,16 +233,24 @@ CheckResult check_next_chains(const Configuration& cfg) {
       }
     }
   }
-  // Acyclicity: walk each chain with a step budget of n.
+  // Acyclicity in O(n) total: stamp every node with the pass that first
+  // visits it. A walk stops early on any node stamped by an earlier pass
+  // (that pass already proved the suffix terminates); revisiting the
+  // current pass's own stamp is a cycle. Each node is walked through at
+  // most once across all passes.
+  constexpr NodeId kUnstamped = graph::kInvalidNode;
+  std::vector<NodeId> stamp(cfg.node_count(), kUnstamped);
   for (NodeId u = 0; u < cfg.node_count(); ++u) {
+    if (stamp[u] != kUnstamped) continue;
     NodeId v = u;
-    std::size_t steps = 0;
-    while (cfg.next[v].has_value()) {
+    while (stamp[v] == kUnstamped) {
+      stamp[v] = u;
+      if (!cfg.next[v].has_value()) break;
       v = *cfg.next[v];
-      if (++steps > cfg.node_count()) {
-        return CheckResult::fail("cycle in next chain starting at node " +
-                                 std::to_string(u));
-      }
+    }
+    if (stamp[v] == u && cfg.next[v].has_value()) {
+      return CheckResult::fail("cycle in next chain starting at node " +
+                               std::to_string(u));
     }
   }
   return CheckResult::pass();

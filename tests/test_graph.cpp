@@ -74,6 +74,64 @@ TEST(DisjointSets, UniteAndFind) {
   EXPECT_EQ(dsu.set_count(), 1u);
 }
 
+TEST(DisjointSets, RollbackRestoresSnapshotState) {
+  DisjointSets dsu(6);
+  ASSERT_TRUE(dsu.unite(0, 1));  // pre-rollback structure is permanent
+  dsu.enable_rollback();
+  EXPECT_TRUE(dsu.rollback_enabled());
+  const std::size_t mark = dsu.snapshot();
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_TRUE(dsu.unite(0, 2));
+  EXPECT_TRUE(dsu.same(1, 3));
+  EXPECT_EQ(dsu.set_count(), 3u);
+  dsu.rollback(mark);
+  EXPECT_EQ(dsu.set_count(), 5u);
+  EXPECT_TRUE(dsu.same(0, 1));   // pre-snapshot union survives
+  EXPECT_FALSE(dsu.same(2, 3));  // post-snapshot unions undone
+  EXPECT_FALSE(dsu.same(0, 2));
+}
+
+TEST(DisjointSets, RollbackRoundTripsRepeatedly) {
+  // The BG checker's usage pattern: unite a shared base once, then push/pop
+  // a different overlay per combination. Every overlay must see the same
+  // base regardless of what earlier overlays did.
+  DisjointSets dsu(8);
+  ASSERT_TRUE(dsu.unite(0, 1));
+  ASSERT_TRUE(dsu.unite(2, 3));
+  dsu.enable_rollback();
+  const std::size_t base = dsu.snapshot();
+  for (int round = 0; round < 50; ++round) {
+    EXPECT_TRUE(dsu.unite(1, 2));
+    EXPECT_TRUE(dsu.unite(4, static_cast<std::size_t>(5 + round % 3)));
+    EXPECT_FALSE(dsu.unite(0, 3));  // cycle via the overlay, every round
+    dsu.rollback(base);
+    EXPECT_EQ(dsu.set_count(), 6u);
+    EXPECT_FALSE(dsu.same(1, 2));
+    EXPECT_FALSE(dsu.same(4, 5));
+  }
+}
+
+TEST(DisjointSets, NestedMarksUnwindInLifoOrder) {
+  DisjointSets dsu(5);
+  dsu.enable_rollback();
+  const std::size_t outer = dsu.snapshot();
+  ASSERT_TRUE(dsu.unite(0, 1));
+  const std::size_t inner = dsu.snapshot();
+  ASSERT_TRUE(dsu.unite(2, 3));
+  ASSERT_TRUE(dsu.unite(1, 2));
+  dsu.rollback(inner);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(2, 3));
+  dsu.rollback(outer);
+  EXPECT_FALSE(dsu.same(0, 1));
+  EXPECT_EQ(dsu.set_count(), 5u);
+}
+
+TEST(DisjointSetsDeath, RollbackWithoutEnableAborts) {
+  DisjointSets dsu(3);
+  EXPECT_DEATH(dsu.rollback(0), "rollback");
+}
+
 TEST(Generators, RingHasNEdgesAndDegreeTwo) {
   const Graph g = make_ring(8);
   EXPECT_EQ(g.node_count(), 8u);

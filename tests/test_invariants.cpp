@@ -156,6 +156,37 @@ TEST(NextChains, AcceptsDisjointChains) {
   EXPECT_TRUE(check_next_chains(cfg).ok);
 }
 
+TEST(NextChains, AcceptsOneMaximalChain) {
+  // A single waiting chain threading every node: the stamped walk visits
+  // each node once in total rather than O(n) times per start node.
+  constexpr std::size_t n = 4096;
+  Configuration cfg;
+  cfg.parent.resize(n);
+  for (NodeId v = 0; v < n; ++v) cfg.parent[v] = v;  // irrelevant here
+  cfg.next.assign(n, std::nullopt);
+  for (NodeId v = 0; v + 1 < n; ++v) cfg.next[v] = v + 1;
+  EXPECT_TRUE(check_next_chains(cfg).ok);
+}
+
+TEST(NextChains, RejectsTwoCycleBesideLongChain) {
+  // A long terminating chain plus a disjoint 2-cycle: indegrees are all
+  // unique, so only the stamped acyclicity walk can catch this. The report
+  // names the first node of the cycle in scan order.
+  constexpr std::size_t n = 64;
+  Configuration cfg;
+  cfg.parent.resize(n);
+  for (NodeId v = 0; v < n; ++v) cfg.parent[v] = v;
+  cfg.next.assign(n, std::nullopt);
+  for (NodeId v = 0; v + 1 < n - 2; ++v) cfg.next[v] = v + 1;
+  cfg.next[n - 2] = n - 1;  // the 2-cycle {n-2, n-1}
+  cfg.next[n - 1] = n - 2;
+  const auto result = check_next_chains(cfg);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.detail.find("cycle in next chain starting at node " +
+                               std::to_string(n - 2)),
+            std::string::npos);
+}
+
 TEST(NodeStates, RejectsLWithN) {
   // {L, N} is unreachable per Lemma 3.
   Configuration cfg = quiescent_chain();
