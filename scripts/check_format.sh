@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run over every tracked C++ file. Fails on
+# any diff from .clang-format. Pass --fix to rewrite files in place instead
+# (append such commits to .git-blame-ignore-revs).
+#
+#   scripts/check_format.sh              # check (skips if no clang-format)
+#   scripts/check_format.sh --fix        # reformat in place
+#   ARVY_ANALYSIS_STRICT=1 scripts/check_format.sh  # missing tool = failure (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT=${CLANG_FORMAT:-clang-format}
+STRICT=${ARVY_ANALYSIS_STRICT:-0}
+MODE=check
+[ "${1:-}" = "--fix" ] && MODE=fix
+
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format: '$CLANG_FORMAT' not found."
+  if [ "$STRICT" = "1" ]; then
+    echo "check_format: ARVY_ANALYSIS_STRICT=1 -> failing." >&2
+    exit 1
+  fi
+  echo "check_format: skipping (set ARVY_ANALYSIS_STRICT=1 to make this fatal)."
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+echo "check_format: $CLANG_FORMAT ($MODE) over ${#files[@]} files ..."
+if [ "$MODE" = "fix" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check_format: reformatted in place."
+else
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "check_format: clean."
+fi

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Static analysis entry point: clang-tidy (curated .clang-tidy check set)
+# over every translation unit in src/, using a CMake compile database.
+#
+# Usage:
+#   scripts/run_analysis.sh              # analyze src/ (skips if no clang-tidy)
+#   ARVY_ANALYSIS_STRICT=1 scripts/run_analysis.sh   # missing tool = failure (CI)
+#   CLANG_TIDY=clang-tidy-18 scripts/run_analysis.sh # pick a specific binary
+#   BUILD_DIR=build scripts/run_analysis.sh          # reuse a configured tree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+STRICT=${ARVY_ANALYSIS_STRICT:-0}
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "run_analysis: '$CLANG_TIDY' not found."
+  if [ "$STRICT" = "1" ]; then
+    echo "run_analysis: ARVY_ANALYSIS_STRICT=1 -> failing." >&2
+    exit 1
+  fi
+  echo "run_analysis: skipping (set ARVY_ANALYSIS_STRICT=1 to make this fatal)."
+  exit 0
+fi
+
+# A compile database is all clang-tidy needs; skip tests/bench/examples so a
+# bare container without GTest/benchmark can still run the analysis.
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DARVY_BUILD_TESTS=OFF -DARVY_BUILD_BENCH=OFF -DARVY_BUILD_EXAMPLES=OFF \
+    >/dev/null
+fi
+
+mapfile -t sources < <(git ls-files 'src/*/*.cpp')
+echo "run_analysis: $CLANG_TIDY over ${#sources[@]} files in src/ ..."
+status=0
+for src in "${sources[@]}"; do
+  "$CLANG_TIDY" --quiet -p "$BUILD_DIR" "$src" || status=1
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "run_analysis: clang-tidy reported findings (see above)." >&2
+  exit 1
+fi
+echo "run_analysis: clean."

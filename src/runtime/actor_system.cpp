@@ -31,12 +31,12 @@ ActorSystem::ActorSystem(const graph::Graph& g,
 }
 
 ActorSystem::~ActorSystem() {
-  if (!shut_down_) shutdown();
+  if (!is_shut_down()) shutdown();
 }
 
 proto::RequestId ActorSystem::request(NodeId v) {
   ARVY_EXPECTS(v < actors_.size());
-  ARVY_EXPECTS_MSG(!shut_down_, "request after shutdown");
+  ARVY_EXPECTS_MSG(!is_shut_down(), "request after shutdown");
   const proto::RequestId id =
       next_request_.fetch_add(1, std::memory_order_acq_rel);
   Envelope envelope;
@@ -47,36 +47,59 @@ proto::RequestId ActorSystem::request(NodeId v) {
 }
 
 void ActorSystem::wait_for_satisfied(std::uint64_t count) {
-  std::unique_lock<std::mutex> lock(stats_mutex_);
+  std::unique_lock<support::RankedMutex> lock(stats_mutex_);
   satisfied_cv_.wait(lock, [this, count] {
     return satisfied_.load(std::memory_order_acquire) >= count;
   });
 }
 
+bool ActorSystem::wait_for_satisfied_for(std::uint64_t count,
+                                         std::chrono::milliseconds timeout) {
+  std::unique_lock<support::RankedMutex> lock(stats_mutex_);
+  return satisfied_cv_.wait_for(lock, timeout, [this, count] {
+    return satisfied_.load(std::memory_order_acquire) >= count;
+  });
+}
+
 double ActorSystem::total_cost() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
   return find_cost_ + token_cost_;
 }
 
 double ActorSystem::find_cost() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
   return find_cost_;
 }
 
 void ActorSystem::shutdown() {
-  if (shut_down_) return;
+  if (is_shut_down()) return;
   for (auto& actor : actors_) actor->mailbox.close();
   for (auto& actor : actors_) {
     if (actor->thread.joinable()) actor->thread.join();
   }
-  shut_down_ = true;
+  // Publish only after every join: node() may rely on the joins'
+  // happens-before edges the moment this flag reads true.
+  shut_down_.store(true, std::memory_order_release);
 }
 
 const proto::ArvyCore& ActorSystem::node(NodeId v) const {
-  ARVY_EXPECTS_MSG(shut_down_,
+  ARVY_EXPECTS_MSG(is_shut_down(),
                    "cores may only be inspected after shutdown (data race)");
   ARVY_EXPECTS(v < actors_.size());
   return *actors_[v]->core;
+}
+
+void ActorSystem::note_satisfied() {
+  {
+    // The mutex, not the atomicity, is what makes the CV protocol sound: a
+    // waiter evaluates its predicate under stats_mutex_, so this increment
+    // either happens-before the check (waiter sees it) or after the waiter
+    // is parked (notify_all wakes it). Incrementing outside the lock could
+    // land between the two and the notification would be lost.
+    std::lock_guard<support::RankedMutex> lock(stats_mutex_);
+    satisfied_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  satisfied_cv_.notify_all();
 }
 
 void ActorSystem::run_node(NodeId v) {
@@ -90,11 +113,7 @@ void ActorSystem::run_node(NodeId v) {
     if (envelope->kind == Envelope::Kind::kRequest) {
       if (actor.core->holds_token()) {
         // Trivially satisfied at the holder, as in the simulator.
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          satisfied_.fetch_add(1, std::memory_order_acq_rel);
-        }
-        satisfied_cv_.notify_all();
+        note_satisfied();
         continue;
       }
       effects = actor.core->request_token(envelope->request);
@@ -107,13 +126,7 @@ void ActorSystem::run_node(NodeId v) {
 
 void ActorSystem::deliver_effects(NodeId from, proto::Effects&& effects,
                                   support::Rng& jitter_rng) {
-  if (effects.satisfied.has_value()) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      satisfied_.fetch_add(1, std::memory_order_acq_rel);
-    }
-    satisfied_cv_.notify_all();
-  }
+  if (effects.satisfied.has_value()) note_satisfied();
   for (proto::Outgoing& out : effects.sends) {
     if (options_.max_jitter.count() > 0) {
       const auto jitter = std::chrono::microseconds(
@@ -123,7 +136,7 @@ void ActorSystem::deliver_effects(NodeId from, proto::Effects&& effects,
     }
     const double distance = oracle_.distance(from, out.to);
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      std::lock_guard<support::RankedMutex> lock(stats_mutex_);
       if (proto::is_find(out.payload)) {
         find_cost_ += distance;
       } else {

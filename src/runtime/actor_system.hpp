@@ -6,16 +6,28 @@
 // sender-side jitter), so experiment E13 exercises the paper's model outside
 // the simulator with the exact same protocol core.
 //
-// Threading contract:
+// Threading contract (checked under ThreadSanitizer by the tier-1 suite):
 //  - each core is touched only by its node's thread;
 //  - the policy object is cloned per node; cores also get per-node RNGs;
 //  - the distance oracle is prewarmed before threads start and then only read;
-//  - cost/satisfaction accounting goes through one mutex-protected Stats.
+//  - cost accounting goes through one mutex-protected block (stats_mutex_);
+//  - the satisfied counter is atomic so satisfied_count() is wait-free, but
+//    every increment happens while holding stats_mutex_ followed by a CV
+//    notify: the increment cannot interleave between a waiter's predicate
+//    check and its wait, so wakeups are never lost;
+//  - request/wait_for_satisfied/satisfied_count may be called from any
+//    thread; shutdown() must not race with request() (close-vs-push is a
+//    contract violation in the mailbox) and node() is legal only after
+//    shutdown() has returned;
+//  - both mutexes are rank-checked (support/lock_rank.hpp): stats before
+//    mailbox is the only legal nesting order.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -25,6 +37,7 @@
 #include "proto/init.hpp"
 #include "proto/policies.hpp"
 #include "runtime/mailbox.hpp"
+#include "support/lock_rank.hpp"
 
 namespace arvy::runtime {
 
@@ -58,6 +71,12 @@ class ActorSystem {
   // Blocks until at least `count` requests (cumulative) are satisfied.
   void wait_for_satisfied(std::uint64_t count);
 
+  // Like wait_for_satisfied, but gives up after `timeout`. Returns whether
+  // the target was reached. Tests use this instead of the untimed wait so a
+  // liveness regression fails the test instead of hanging ctest forever.
+  [[nodiscard]] bool wait_for_satisfied_for(std::uint64_t count,
+                                            std::chrono::milliseconds timeout);
+
   [[nodiscard]] std::uint64_t satisfied_count() const noexcept {
     return satisfied_.load(std::memory_order_acquire);
   }
@@ -75,7 +94,9 @@ class ActorSystem {
 
   // Post-shutdown inspection (threads joined, single-threaded again).
   [[nodiscard]] const proto::ArvyCore& node(NodeId v) const;
-  [[nodiscard]] bool is_shut_down() const noexcept { return shut_down_; }
+  [[nodiscard]] bool is_shut_down() const noexcept {
+    return shut_down_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Envelope {
@@ -97,6 +118,9 @@ class ActorSystem {
   void run_node(NodeId v);
   void deliver_effects(NodeId from, proto::Effects&& effects,
                        support::Rng& jitter_rng);
+  // The single writer path for satisfied_: increment under stats_mutex_,
+  // notify after releasing it (see the threading contract above).
+  void note_satisfied();
 
   graph::DistanceOracle oracle_;
   Options options_;
@@ -104,11 +128,14 @@ class ActorSystem {
 
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> satisfied_{0};
-  mutable std::mutex stats_mutex_;
-  std::condition_variable satisfied_cv_;
-  double find_cost_ = 0.0;
-  double token_cost_ = 0.0;
-  bool shut_down_ = false;
+  mutable support::RankedMutex stats_mutex_{support::lock_rank::kStats,
+                                            "actor-stats"};
+  std::condition_variable_any satisfied_cv_;
+  double find_cost_ = 0.0;   // guarded by stats_mutex_
+  double token_cost_ = 0.0;  // guarded by stats_mutex_
+  // False until shutdown() has joined every node thread; the join provides
+  // the happens-before edge that makes post-shutdown core inspection safe.
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace arvy::runtime

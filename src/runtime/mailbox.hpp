@@ -4,6 +4,15 @@
 // condition-variable deque provides exactly that (plus per-sender FIFO,
 // which the protocol does not rely on - the simulator's adversarial
 // disciplines cover reordering).
+//
+// Thread-safety contract (checked by tests/test_concurrency_stress.cpp
+// under ThreadSanitizer):
+//  - push / pop / pop_random / size may be called from any thread;
+//  - close may race with consumers (they drain, then observe nullopt) but
+//    NOT with producers: push on a closed mailbox is a contract violation,
+//    so callers must quiesce or join producers before closing;
+//  - the internal mutex is rank-checked (support/lock_rank.hpp): holding a
+//    mailbox lock while acquiring any lower-ranked lock aborts.
 #pragma once
 
 #include <condition_variable>
@@ -12,6 +21,7 @@
 #include <optional>
 
 #include "support/assert.hpp"
+#include "support/lock_rank.hpp"
 
 namespace arvy::runtime {
 
@@ -22,7 +32,7 @@ class Mailbox {
   // queue is unbounded - protocol traffic per node is small and finite).
   void push(T item) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<support::RankedMutex> lock(mutex_);
       ARVY_ASSERT_MSG(!closed_, "push to a closed mailbox");
       items_.push_back(std::move(item));
     }
@@ -31,11 +41,22 @@ class Mailbox {
 
   // Blocks until an item is available or the box is closed; nullopt on
   // close-and-empty.
+  //
+  // gcc 12 reports a bogus -Wuninitialized when T contains a std::variant:
+  // the diagnostic points into the variant storage of the moved-FROM deque
+  // slot, which items_.front()/items_[index] guarantee is alive (same false-
+  // positive family as gcc PR 105593). Suppressed for the two pop bodies
+  // only; clang compiles them clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<support::RankedMutex> lock(mutex_);
     ready_.wait(lock, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
+    std::optional<T> item(std::move(items_.front()));
     items_.pop_front();
     return item;
   }
@@ -46,32 +67,37 @@ class Mailbox {
   // (the threaded analogue of the simulator's kRandom discipline).
   template <typename Rng>
   [[nodiscard]] std::optional<T> pop_random(Rng& rng) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock<support::RankedMutex> lock(mutex_);
     ready_.wait(lock, [this] { return !items_.empty() || closed_; });
     if (items_.empty()) return std::nullopt;
     const std::size_t index = rng.next_below(items_.size());
-    T item = std::move(items_[index]);
+    std::optional<T> item(std::move(items_[index]));
     items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(index));
     return item;
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   // After close, pop drains remaining items and then returns nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard<support::RankedMutex> lock(mutex_);
       closed_ = true;
     }
     ready_.notify_all();
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<support::RankedMutex> lock(mutex_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
+  // condition_variable_any because the mutex is the rank-checked wrapper,
+  // not std::mutex; the CV's internal unlock/relock is rank-checked too.
+  mutable support::RankedMutex mutex_{support::lock_rank::kMailbox, "mailbox"};
+  std::condition_variable_any ready_;
   std::deque<T> items_;
   bool closed_ = false;
 };

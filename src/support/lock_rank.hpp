@@ -1,0 +1,81 @@
+// Lock-order (rank) checking: deadlock freedom as an executable invariant.
+//
+// Every RankedMutex carries a numeric rank. A thread may only acquire a
+// mutex whose rank is STRICTLY greater than the rank of every mutex it
+// already holds, which rules out wait-for cycles by construction: any cycle
+// would need some edge from a higher rank back to a lower one, and that
+// acquisition trips the assertion at the call site -- deterministically, on
+// the first wrong nesting, not only on the schedule where threads actually
+// deadlock. Like the contract macros (assert.hpp) the check is enabled in
+// every build type; the bookkeeping is one thread_local fixed array push/pop
+// per lock, far below the cost of the lock itself.
+//
+// RankedMutex satisfies the standard Lockable requirements, so it works with
+// std::lock_guard / std::unique_lock; pair it with
+// std::condition_variable_any for waiting (the CV's internal unlock/relock
+// goes through lock()/unlock() and is rank-checked like any other use).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace arvy::support {
+
+namespace lock_rank {
+// The repo-wide lock hierarchy. Gaps are deliberate: new subsystems slot in
+// without renumbering. A thread holding kStats may acquire a kMailbox lock
+// (ActorSystem::deliver_effects charges costs, then forwards messages); the
+// reverse nesting is the deadlock-shaped one and is what the rank check
+// forbids.
+inline constexpr std::uint32_t kStats = 100;    // ActorSystem stats/CV mutex
+inline constexpr std::uint32_t kMailbox = 200;  // per-node runtime::Mailbox
+}  // namespace lock_rank
+
+namespace detail {
+// Records `rank` as held by this thread; aborts (contract failure) if some
+// already-held lock has an equal or greater rank.
+void note_acquire(std::uint32_t rank, const char* name);
+// Removes the innermost held entry with rank `rank` (unlock order need not
+// be LIFO); aborts if this thread does not hold such a lock.
+void note_release(std::uint32_t rank);
+// Number of ranked locks this thread currently holds (test hook).
+[[nodiscard]] std::size_t held_count() noexcept;
+}  // namespace detail
+
+class RankedMutex {
+ public:
+  explicit RankedMutex(std::uint32_t rank, const char* name = "mutex")
+      : rank_(rank), name_(name) {}
+
+  RankedMutex(const RankedMutex&) = delete;
+  RankedMutex& operator=(const RankedMutex&) = delete;
+
+  void lock() {
+    // Check before blocking: a would-be deadlock should abort, not hang.
+    detail::note_acquire(rank_, name_);
+    mutex_.lock();
+  }
+
+  bool try_lock() {
+    if (!mutex_.try_lock()) return false;
+    // try_lock cannot deadlock, but an out-of-rank nesting is still a
+    // hierarchy violation somewhere else's blocking path could copy.
+    detail::note_acquire(rank_, name_);
+    return true;
+  }
+
+  void unlock() {
+    mutex_.unlock();
+    detail::note_release(rank_);
+  }
+
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::mutex mutex_;
+  std::uint32_t rank_;
+  const char* name_;
+};
+
+}  // namespace arvy::support

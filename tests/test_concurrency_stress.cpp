@@ -1,0 +1,231 @@
+// Concurrency stress tests, designed to run under ThreadSanitizer.
+//
+// The unit tests elsewhere check the runtime's functional behaviour; these
+// tests exist to hand TSan (and the lock-rank checker) as many genuinely
+// racy schedules as possible: many producers against many consumers on one
+// Mailbox, request storms against a full ActorSystem, and repeated
+// construct/storm/shutdown churn to shake the join/close ordering. They
+// assert functional outcomes too, but their real assertion is "zero
+// sanitizer reports" -- the TSan CI job runs exactly this binary.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "proto/policies.hpp"
+#include "runtime/actor_system.hpp"
+#include "runtime/mailbox.hpp"
+#include "support/lock_rank.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arvy;
+using graph::NodeId;
+
+// Generous ceiling for waits: a passing run finishes in milliseconds; the
+// timeout only matters when a liveness regression would otherwise hang ctest.
+constexpr std::chrono::milliseconds kWaitCeiling{120000};
+
+TEST(MailboxStress, ManyProducersOneConsumerFifo) {
+  constexpr int kProducers = 8;
+  constexpr int kItemsPerProducer = 2000;
+  runtime::Mailbox<int> box;
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        box.push(p * kItemsPerProducer + i);
+      }
+    });
+  }
+
+  // Consume concurrently with the producers; close() arrives only after all
+  // producers joined (push-after-close is a contract violation by design).
+  std::int64_t sum = 0;
+  int count = 0;
+  std::thread consumer([&] {
+    while (auto item = box.pop()) {
+      sum += *item;
+      ++count;
+    }
+  });
+  for (auto& t : producers) t.join();
+  box.close();
+  consumer.join();
+
+  constexpr int kTotal = kProducers * kItemsPerProducer;
+  EXPECT_EQ(count, kTotal);
+  EXPECT_EQ(sum, static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+  EXPECT_EQ(box.size(), 0u);
+}
+
+TEST(MailboxStress, ManyProducersManyRandomConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kItemsPerProducer = 1500;
+  runtime::Mailbox<int> box;
+  std::atomic<int> consumed{0};
+  std::atomic<std::int64_t> sum{0};
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&box, &consumed, &sum, c] {
+      support::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      while (auto item = box.pop_random(rng)) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        consumed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kItemsPerProducer; ++i) {
+        box.push(p * kItemsPerProducer + i);
+      }
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  box.close();
+  for (auto& t : consumers) t.join();
+
+  constexpr int kTotal = kProducers * kItemsPerProducer;
+  EXPECT_EQ(consumed.load(), kTotal);
+  EXPECT_EQ(sum.load(), static_cast<std::int64_t>(kTotal) * (kTotal - 1) / 2);
+}
+
+TEST(MailboxStress, CloseRacesWithBlockedConsumers) {
+  // Consumers park on an empty mailbox; close() must wake every one of them
+  // exactly into the nullopt path. Repeat to sample many interleavings.
+  for (int round = 0; round < 50; ++round) {
+    runtime::Mailbox<int> box;
+    std::atomic<int> finished{0};
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 3; ++c) {
+      consumers.emplace_back([&box, &finished] {
+        while (box.pop().has_value()) {
+        }
+        finished.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    box.push(1);
+    box.push(2);
+    box.close();
+    for (auto& t : consumers) t.join();
+    EXPECT_EQ(finished.load(), 3);
+  }
+}
+
+TEST(LockRank, NoRankedLocksHeldOutsideCriticalSections) {
+  runtime::Mailbox<int> box;
+  box.push(1);
+  EXPECT_EQ(box.pop(), std::optional<int>{1});
+  // Every Mailbox operation must fully release the ranked mutex before
+  // returning; a leak here would poison rank checks for the whole thread.
+  EXPECT_EQ(support::detail::held_count(), 0u);
+}
+
+TEST(ActorSystemStress, RequestStormAllSatisfied) {
+  // Distinct-node bursts back-to-back over a reordered, jittered runtime:
+  // the model's only rule is one outstanding request per node, so each round
+  // fires a batch across many nodes at once and waits for the cumulative
+  // count before the next volley.
+  constexpr NodeId kNodes = 10;
+  const auto g = graph::make_ring(kNodes);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorOptions options;
+  options.seed = 101;
+  options.reorder_mailboxes = true;
+  options.max_jitter = std::chrono::microseconds(20);
+  runtime::ActorSystem system(g, proto::ring_bridge_config(kNodes), *policy,
+                              options);
+
+  std::uint64_t expected = 0;
+  support::Rng rng(7);
+  for (int round = 0; round < 12; ++round) {
+    std::set<NodeId> requesters;
+    while (requesters.size() < 5) {
+      requesters.insert(static_cast<NodeId>(rng.next_below(kNodes)));
+    }
+    for (NodeId v : requesters) system.request(v);
+    expected += requesters.size();
+    ASSERT_TRUE(system.wait_for_satisfied_for(expected, kWaitCeiling))
+        << "liveness regression: stuck at " << system.satisfied_count()
+        << " of " << expected;
+  }
+  system.shutdown();
+
+  EXPECT_EQ(system.satisfied_count(), expected);
+  std::size_t holders = 0;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    holders += system.node(v).holds_token() ? 1u : 0u;
+  }
+  EXPECT_EQ(holders, 1u);
+}
+
+TEST(ActorSystemStress, ConstructStormShutdownChurn) {
+  // Shutdown/join ordering under churn: build a system, satisfy a burst,
+  // tear it down, repeat. Half the rounds shut down explicitly, half leave
+  // it to the destructor, so both paths see traffic.
+  const auto g = graph::make_grid(3, 3);
+  auto policy = proto::make_policy(proto::PolicyKind::kArrow);
+  for (int round = 0; round < 8; ++round) {
+    runtime::ActorOptions options;
+    options.seed = static_cast<std::uint64_t>(round) + 1;
+    options.reorder_mailboxes = (round % 2 == 0);
+    runtime::ActorSystem system(g, proto::from_tree(graph::bfs_tree(g, 4)),
+                                *policy, options);
+    for (NodeId v : {0u, 2u, 6u, 8u}) system.request(v);
+    ASSERT_TRUE(system.wait_for_satisfied_for(4, kWaitCeiling));
+    if (round % 2 == 0) {
+      system.shutdown();
+      EXPECT_TRUE(system.is_shut_down());
+      EXPECT_EQ(system.satisfied_count(), 4u);
+    }
+    // Odd rounds: destructor runs shutdown with mailboxes quiescent.
+  }
+}
+
+TEST(ActorSystemStress, ConcurrentWaitersAllWake) {
+  // Several threads block in wait_for_satisfied while requests trickle in;
+  // every waiter must wake (no lost notifications in the CV protocol).
+  constexpr NodeId kNodes = 8;
+  const auto g = graph::make_ring(kNodes);
+  auto policy = proto::make_policy(proto::PolicyKind::kBridge);
+  runtime::ActorOptions options;
+  options.seed = 31;
+  runtime::ActorSystem system(g, proto::ring_bridge_config(kNodes), *policy,
+                              options);
+
+  constexpr std::uint64_t kTarget = 6;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> waiters;
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&system, &woke] {
+      system.wait_for_satisfied(kTarget);
+      woke.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (NodeId v : {1u, 2u, 3u, 5u, 6u, 7u}) {
+    system.request(v);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woke.load(), 4);
+  system.shutdown();
+  EXPECT_GE(system.satisfied_count(), kTarget);
+}
+
+}  // namespace

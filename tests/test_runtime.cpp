@@ -2,6 +2,7 @@
 // protocol core under real OS-scheduler asynchrony.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
 #include "graph/generators.hpp"
@@ -14,6 +15,10 @@ namespace {
 
 using namespace arvy;
 using graph::NodeId;
+
+// Timed waits so a liveness regression fails the test instead of hanging
+// ctest; the ceiling is generous because sanitizer builds run slowly.
+constexpr std::chrono::milliseconds kWait{120000};
 
 TEST(Mailbox, PushPopFifoSingleThread) {
   runtime::Mailbox<int> box;
@@ -50,7 +55,7 @@ TEST(ActorSystem, SingleRequestMovesToken) {
   runtime::ActorSystem system(g, proto::from_tree(graph::bfs_tree(g, 0)),
                               *policy);
   system.request(3);
-  system.wait_for_satisfied(1);
+  ASSERT_TRUE(system.wait_for_satisfied_for(1, kWait));
   system.shutdown();
   EXPECT_TRUE(system.node(3).holds_token());
   EXPECT_GT(system.total_cost(), 0.0);
@@ -68,7 +73,7 @@ TEST(ActorSystem, SequentialRoundsAllSatisfied) {
   for (int round = 0; round < 10; ++round) {
     const auto v = static_cast<NodeId>(rng.next_below(9));
     system.request(v);
-    system.wait_for_satisfied(++satisfied_target);
+    ASSERT_TRUE(system.wait_for_satisfied_for(++satisfied_target, kWait));
   }
   system.shutdown();
   EXPECT_EQ(system.satisfied_count(), 10u);
@@ -87,7 +92,7 @@ TEST(ActorSystem, ConcurrentBurstWithJitterStaysCorrect) {
   runtime::ActorSystem system(g, proto::ring_bridge_config(8), *policy,
                               options);
   for (NodeId v : {0u, 1u, 2u, 5u, 6u, 7u}) system.request(v);
-  system.wait_for_satisfied(6);
+  ASSERT_TRUE(system.wait_for_satisfied_for(6, kWait));
   system.shutdown();
 
   std::size_t holders = 0;
@@ -125,14 +130,14 @@ TEST(ActorSystem, BridgePolicyStressRounds) {
     }
     for (NodeId v : requesters) system.request(v);
     expected += requesters.size();
-    system.wait_for_satisfied(expected);
+    ASSERT_TRUE(system.wait_for_satisfied_for(expected, kWait));
   }
   system.shutdown();
   EXPECT_EQ(system.satisfied_count(), expected);
   // At most one bridge flag survives.
   std::size_t bridges = 0;
   for (NodeId v = 0; v < 10; ++v) {
-    bridges += system.node(v).parent_edge_is_bridge() ? 1 : 0;
+    bridges += system.node(v).parent_edge_is_bridge() ? 1u : 0u;
   }
   EXPECT_LE(bridges, 1u);
 }
@@ -144,7 +149,7 @@ TEST(ActorSystem, FindCostIsDistanceWeighted) {
   auto policy = proto::make_policy(proto::PolicyKind::kArrow);
   runtime::ActorSystem system(g, proto::chain_config(5), *policy);
   system.request(0);
-  system.wait_for_satisfied(1);
+  ASSERT_TRUE(system.wait_for_satisfied_for(1, kWait));
   system.shutdown();
   EXPECT_DOUBLE_EQ(system.find_cost(), 4.0);
   EXPECT_DOUBLE_EQ(system.total_cost(), 8.0);  // + token distance 4
@@ -170,13 +175,13 @@ TEST(ActorSystem, ReorderedMailboxesStayCorrect) {
     }
     for (NodeId v : requesters) system.request(v);
     expected += requesters.size();
-    system.wait_for_satisfied(expected);
+    ASSERT_TRUE(system.wait_for_satisfied_for(expected, kWait));
   }
   system.shutdown();
   EXPECT_EQ(system.satisfied_count(), expected);
   std::size_t holders = 0;
   for (NodeId v = 0; v < 8; ++v) {
-    holders += system.node(v).holds_token() ? 1 : 0;
+    holders += system.node(v).holds_token() ? 1u : 0u;
   }
   EXPECT_EQ(holders, 1u);
 }

@@ -74,7 +74,9 @@ TEST(Poisson, ArrivalsAreSortedDistinctNodes) {
   std::set<NodeId> nodes;
   for (std::size_t i = 0; i < arrivals.size(); ++i) {
     nodes.insert(arrivals[i].node);
-    if (i > 0) EXPECT_GE(arrivals[i].at, arrivals[i - 1].at);
+    if (i > 0) {
+      EXPECT_GE(arrivals[i].at, arrivals[i - 1].at);
+    }
   }
   EXPECT_EQ(nodes.size(), 12u);  // each node requests at most once
 }
