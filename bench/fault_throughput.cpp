@@ -1,0 +1,85 @@
+// Experiment E18: satisfied-request throughput under fault injection
+// (google-benchmark). How much protocol goodput survives a lossy network
+// once the retry layer re-drives dropped transmissions?
+//
+// BM_SatisfiedThroughput/<d> runs a fixed sequential workload on a 64-node
+// ring while dropping d% of both find and token transmissions (capped
+// exponential-backoff retransmission on). Items processed = satisfied
+// requests, so items_per_second is the goodput; the counters report how
+// much extra wire traffic the retries cost. The d=0 leg doubles as a
+// regression guard for the zero-fault fast path: an empty plan installs no
+// send filter, so it must track the plain engine's throughput.
+//
+// Reported in BENCH_5.json via scripts/bench_report.py --fault-sweep.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+#include "proto/directory.hpp"
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace arvy;
+
+constexpr std::size_t kNodes = 64;
+constexpr std::size_t kRequests = 200;
+
+void BM_SatisfiedThroughput(benchmark::State& state) {
+  const auto drop = static_cast<double>(state.range(0)) / 100.0;
+  const auto g = graph::make_ring(kNodes);
+  support::Rng workload_rng(29);
+  const auto sequence =
+      workload::uniform_sequence(kNodes, kRequests, workload_rng);
+  std::uint64_t satisfied = 0;
+  faults::FaultStats stats;
+  for (auto _ : state) {
+    Directory dir(g, {.policy = proto::PolicyKind::kIvy,
+                      .seed = 7,
+                      .faults = {.drop_find = drop, .drop_token = drop,
+                                 .seed = 11}});
+    dir.run_sequential(sequence);
+    satisfied += dir.satisfied_count();
+    stats.merge(dir.fault_stats());
+    benchmark::DoNotOptimize(satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(satisfied));
+  const auto iters = static_cast<double>(state.iterations());
+  state.counters["drops_per_run"] =
+      static_cast<double>(stats.drops) / iters;
+  state.counters["retries_per_run"] =
+      static_cast<double>(stats.retries) / iters;
+  state.counters["permanent_losses"] = static_cast<double>(stats.permanent_losses);
+}
+BENCHMARK(BM_SatisfiedThroughput)->Arg(0)->Arg(5)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SatisfiedThroughputConcurrent(benchmark::State& state) {
+  // The concurrent (timed-arrival) analogue at range(0)% drop: retry delays
+  // overlap with other requests' traffic instead of serializing behind it,
+  // so the goodput penalty is smaller than in the sequential sweep.
+  const auto drop = static_cast<double>(state.range(0)) / 100.0;
+  const auto g = graph::make_ring(kNodes);
+  support::Rng workload_rng(31);
+  const auto arrivals =
+      workload::poisson_arrivals(kNodes, kNodes / 2, 2.0, workload_rng);
+  std::uint64_t satisfied = 0;
+  for (auto _ : state) {
+    Directory dir(g, {.policy = proto::PolicyKind::kIvy,
+                      .seed = 7,
+                      .faults = {.drop_find = drop, .drop_token = drop,
+                                 .seed = 11}});
+    dir.run_concurrent(arrivals);
+    satisfied += dir.satisfied_count();
+    benchmark::DoNotOptimize(satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(satisfied));
+}
+BENCHMARK(BM_SatisfiedThroughputConcurrent)->Arg(0)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

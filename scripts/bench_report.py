@@ -57,14 +57,83 @@ def context_summary(context):
     }
 
 
+def fault_sweep_report(paths, out):
+    """Single-capture mode for the fault-injection goodput sweep.
+
+    Reads google-benchmark JSON from bench/fault_throughput (benchmarks
+    named BM_<something>/<drop-percent>) and writes a report keyed by drop
+    rate: satisfied-request throughput plus the retry overhead counters.
+
+        ./build/bench/fault_throughput --benchmark_format=json > faults.json
+        scripts/bench_report.py --fault-sweep faults.json --out BENCH_5.json
+    """
+    context, entries = load_side(paths)
+    sweeps = []
+    for name, bench in entries.items():
+        base, sep, arg = name.rpartition("/")
+        if not sep or not arg.isdigit():
+            print(f"warning: skipping {name!r} (no /<drop-percent> suffix)",
+                  file=sys.stderr)
+            continue
+        sweeps.append({
+            "benchmark": base,
+            "drop_percent": int(arg),
+            "time_unit": bench.get("time_unit", "ns"),
+            "real_time": bench.get("real_time"),
+            "satisfied_per_second": bench.get("items_per_second"),
+            "drops_per_run": bench.get("drops_per_run"),
+            "retries_per_run": bench.get("retries_per_run"),
+            "permanent_losses": bench.get("permanent_losses"),
+        })
+    sweeps.sort(key=lambda r: (r["benchmark"], r["drop_percent"]))
+
+    # Goodput retained relative to each benchmark's own 0%-drop leg: the
+    # headline number ("10% drop costs X% throughput, zero losses").
+    baseline = {r["benchmark"]: r["satisfied_per_second"]
+                for r in sweeps if r["drop_percent"] == 0}
+    for r in sweeps:
+        base_rate = baseline.get(r["benchmark"])
+        r["goodput_vs_no_faults"] = (
+            round(r["satisfied_per_second"] / base_rate, 3)
+            if base_rate and r["satisfied_per_second"] else None)
+
+    report = {
+        "schema": "arvy-fault-sweep/1",
+        "context": context_summary(context),
+        "sweeps": sweeps,
+    }
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    width = max((len(r["benchmark"]) for r in sweeps), default=0)
+    for r in sweeps:
+        kept = (f"{100 * r['goodput_vs_no_faults']:.1f}%"
+                if r["goodput_vs_no_faults"] is not None else "n/a")
+        print(f"{r['benchmark']:<{width}}  drop={r['drop_percent']:>2}%  "
+              f"goodput={kept:>7}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--before", nargs="+", required=True,
+    parser.add_argument("--before", nargs="+",
                         help="google-benchmark JSON files for the baseline")
-    parser.add_argument("--after", nargs="+", required=True,
+    parser.add_argument("--after", nargs="+",
                         help="google-benchmark JSON files for the change")
+    parser.add_argument("--fault-sweep", nargs="+", metavar="JSON",
+                        help="google-benchmark JSON from bench/fault_throughput;"
+                             " writes a drop-rate sweep report instead of a"
+                             " before/after comparison")
     parser.add_argument("--out", required=True, help="report path to write")
     args = parser.parse_args()
+
+    if args.fault_sweep:
+        if args.before or args.after:
+            parser.error("--fault-sweep is exclusive with --before/--after")
+        fault_sweep_report(args.fault_sweep, args.out)
+        return
+    if not args.before or not args.after:
+        parser.error("--before and --after are required without --fault-sweep")
 
     before_ctx, before = load_side(args.before)
     after_ctx, after = load_side(args.after)

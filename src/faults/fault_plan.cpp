@@ -1,0 +1,139 @@
+#include "faults/fault_plan.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace arvy::faults {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("fault spec '" + spec + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::stringstream ss(text);
+  std::string part;
+  while (std::getline(ss, part, sep)) out.push_back(part);
+  return out;
+}
+
+double parse_probability(const std::string& spec, const std::string& value) {
+  double p = 0.0;
+  try {
+    p = std::stod(value);
+  } catch (const std::exception&) {
+    bad_spec(spec, "'" + value + "' is not a number");
+  }
+  if (p < 0.0 || p > 1.0) bad_spec(spec, "probability must be in [0, 1]");
+  return p;
+}
+
+double parse_number(const std::string& spec, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    bad_spec(spec, "'" + value + "' is not a number");
+  }
+}
+
+}  // namespace
+
+const char* message_kind_name(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kFind:
+      return "find";
+    case MessageKind::kToken:
+      return "token";
+    case MessageKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+bool FaultPlan::empty() const noexcept {
+  return drop_find == 0.0 && drop_token == 0.0 && duplicate == 0.0 &&
+         reorder == 0.0 && storms.empty() && pauses.empty() && stalls.empty();
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "none") return plan;
+  for (const std::string& item : split(spec, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) bad_spec(spec, "expected key=value in '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    const auto parts = split(value, ':');
+    if (key == "drop") {
+      plan.drop_find = plan.drop_token = parse_probability(spec, value);
+    } else if (key == "dropfind") {
+      plan.drop_find = parse_probability(spec, value);
+    } else if (key == "droptoken") {
+      plan.drop_token = parse_probability(spec, value);
+    } else if (key == "dup") {
+      plan.duplicate = parse_probability(spec, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_probability(spec, parts.at(0));
+      if (parts.size() > 1) plan.reorder_spike = parse_number(spec, parts[1]);
+    } else if (key == "storm") {
+      if (parts.size() < 2) bad_spec(spec, "storm needs AT:DUR[:FACTOR]");
+      LatencyStorm storm;
+      storm.at = parse_number(spec, parts[0]);
+      storm.duration = parse_number(spec, parts[1]);
+      if (parts.size() > 2) storm.factor = parse_number(spec, parts[2]);
+      plan.storms.push_back(storm);
+    } else if (key == "pause") {
+      if (parts.size() != 3) bad_spec(spec, "pause needs NODE:AT:DUR");
+      PauseWindow pause;
+      pause.node = static_cast<NodeId>(std::stoul(parts[0]));
+      pause.at = parse_number(spec, parts[1]);
+      pause.duration = parse_number(spec, parts[2]);
+      plan.pauses.push_back(pause);
+    } else if (key == "stall") {
+      if (parts.size() != 2) bad_spec(spec, "stall needs AT:DUR");
+      HolderStall stall;
+      stall.at = parse_number(spec, parts[0]);
+      stall.duration = parse_number(spec, parts[1]);
+      plan.stalls.push_back(stall);
+    } else if (key == "seed") {
+      plan.seed = std::stoull(value);
+    } else {
+      bad_spec(spec, "unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+RetryPolicy parse_retry_policy(const std::string& spec) {
+  RetryPolicy retry;
+  if (spec.empty()) return retry;
+  if (spec == "off") {
+    retry.enabled = false;
+    return retry;
+  }
+  for (const std::string& item : split(spec, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) bad_spec(spec, "expected key=value in '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "backoff") {
+      if (!value.empty() && value.back() == 'x') value.pop_back();
+      retry.backoff = parse_number(spec, value);
+      if (retry.backoff < 1.0) bad_spec(spec, "backoff multiplier must be >= 1");
+    } else if (key == "rto") {
+      retry.rto = parse_number(spec, value);
+    } else if (key == "cap") {
+      retry.max_backoff = parse_number(spec, value);
+    } else if (key == "attempts") {
+      retry.max_attempts = static_cast<std::uint32_t>(std::stoul(value));
+      if (retry.max_attempts == 0) bad_spec(spec, "attempts must be >= 1");
+    } else {
+      bad_spec(spec, "unknown key '" + key + "'");
+    }
+  }
+  return retry;
+}
+
+}  // namespace arvy::faults

@@ -1,9 +1,11 @@
 #include "proto/directory.hpp"
 
 #include <algorithm>
+#include <variant>
 
 #include "graph/spanning_tree.hpp"
 #include "graph/tree_metrics.hpp"
+#include "proto/messages.hpp"
 #include "support/assert.hpp"
 
 namespace arvy {
@@ -40,16 +42,35 @@ proto::InitialConfig default_initial_config(const graph::Graph& g,
   return proto::from_tree(shortest_path_tree(g, metric.center));
 }
 
+std::unique_ptr<proto::NewParentPolicy> resolve_policy(
+    const DirectoryOptions& options) {
+  return proto::make_policy(options.policy, options.kback_k);
+}
+
+proto::InitialConfig resolve_initial_config(const graph::Graph& g,
+                                            const DirectoryOptions& options) {
+  return options.initial.has_value()
+             ? *options.initial
+             : default_initial_config(g, options.policy);
+}
+
 Directory::Directory(const graph::Graph& g, DirectoryOptions options) {
-  const auto policy = proto::make_policy(options.policy, options.kback_k);
-  const proto::InitialConfig init =
-      options.initial.has_value() ? *options.initial
-                                  : default_initial_config(g, options.policy);
+  const auto policy = resolve_policy(options);
+  const proto::InitialConfig init = resolve_initial_config(g, options);
   proto::SimEngine::Options engine_options;
   engine_options.discipline = options.discipline;
   engine_options.seed = options.seed;
+  if (options.delay) engine_options.delay = options.delay->clone();
+  engine_options.faults = options.faults;
+  engine_options.retry = options.retry;
   engine_ = std::make_unique<proto::SimEngine>(g, init, *policy,
                                                std::move(engine_options));
+}
+
+std::size_t Directory::node_count() const { return engine_->node_count(); }
+
+proto::RequestId Directory::acquire(graph::NodeId v) {
+  return engine_->submit(v);
 }
 
 void Directory::acquire_and_wait(graph::NodeId v) {
@@ -57,6 +78,100 @@ void Directory::acquire_and_wait(graph::NodeId v) {
   run();
   ARVY_ASSERT_MSG(engine_->requests()[id - 1].satisfied_at.has_value(),
                   "acquire_and_wait left the request unsatisfied");
+}
+
+bool Directory::drain(std::chrono::milliseconds /*budget*/) {
+  // The simulator's drain is logical: run_until_idle terminates once the
+  // network is quiet, so the wall-clock budget never binds.
+  run();
+  return unsatisfied_count() == 0;
+}
+
+std::uint64_t Directory::submitted_count() const {
+  return static_cast<std::uint64_t>(engine_->requests().size());
+}
+
+std::uint64_t Directory::satisfied_count() const {
+  return submitted_count() - unsatisfied_count();
+}
+
+proto::CostAccount Directory::cost_snapshot() const { return engine_->costs(); }
+
+faults::FaultStats Directory::fault_stats() const {
+  if (const faults::FaultInjector* injector = engine_->injector()) {
+    return injector->stats();
+  }
+  return {};
+}
+
+void Directory::run() { engine_->run_until_idle(); }
+
+bool Directory::step() { return engine_->step(); }
+
+void Directory::run_sequential(std::span<const graph::NodeId> sequence) {
+  engine_->run_sequential(sequence);
+}
+
+void Directory::run_concurrent(std::span<const proto::TimedRequest> requests) {
+  engine_->run_concurrent(requests);
+}
+
+std::optional<graph::NodeId> Directory::holder() const {
+  return engine_->token_holder();
+}
+
+const proto::CostAccount& Directory::costs() const noexcept {
+  return engine_->costs();
+}
+
+const std::vector<proto::RequestRecord>& Directory::requests() const noexcept {
+  return engine_->requests();
+}
+
+std::size_t Directory::unsatisfied_count() const {
+  return engine_->unsatisfied_count();
+}
+
+const graph::DistanceOracle& Directory::oracle() const noexcept {
+  return engine_->oracle();
+}
+
+bool Directory::idle() const noexcept { return engine_->bus().idle(); }
+
+void Directory::on_message(MessageObserver observer) {
+  if (!observer) {
+    engine_->set_message_hook(nullptr);
+    return;
+  }
+  engine_->set_message_hook(
+      [observer = std::move(observer)](
+          const sim::MessageBus<proto::Message>::InFlight& entry) {
+        MessageEvent event;
+        event.from = entry.from;
+        event.to = entry.to;
+        event.at = entry.deliver_at;
+        event.distance = entry.distance;
+        if (const auto* find =
+                std::get_if<proto::FindMessage>(&entry.payload)) {
+          event.is_find = true;
+          event.request = find->request;
+        }
+        observer(event);
+      });
+}
+
+void Directory::on_satisfied(SatisfiedObserver observer) {
+  engine_->set_satisfied_hook(std::move(observer));
+}
+
+void Directory::on_event(EventObserver observer) {
+  event_observer_ = std::move(observer);
+  if (!event_observer_) {
+    engine_->set_post_event_hook(nullptr);
+    return;
+  }
+  engine_->set_post_event_hook(
+      [this](const proto::SimEngine&) { event_observer_(*this); });
 }
 
 MultiDirectory::MultiDirectory(const graph::Graph& g, std::size_t object_count,

@@ -6,18 +6,54 @@
 // "multiple independent instances of the distributed directory protocol in
 // parallel can be used to coordinate access to multiple data items" (§1).
 //
+// Transports. The same facade contract (AnyDirectory) is served by two
+// engines: `Directory` runs the discrete-event simulator (deterministic,
+// seedable, verifiable after every event) and `LiveDirectory`
+// (runtime/live_directory.hpp) runs the threaded actor runtime (real OS
+// asynchrony). Code written against AnyDirectory - submit requests, drain,
+// snapshot costs - runs unchanged on both; the fault-matrix suite does
+// exactly that.
+//
 // Quickstart:
 //   auto g = arvy::graph::make_ring(8);
 //   arvy::Directory dir(g, {.policy = arvy::proto::PolicyKind::kBridge});
 //   dir.acquire_and_wait(3);   // node 3 obtains the object
 //   dir.acquire_and_wait(6);   // then node 6
 //   double paid = dir.costs().total_distance();
+//
+// With faults and retries (see docs/FAULTS.md):
+//   arvy::Directory dir(g, {
+//       .policy = arvy::proto::PolicyKind::kIvy,
+//       .seed = 7,
+//       .faults = {.drop_find = 0.1, .drop_token = 0.1},
+//       .retry = {.rto = 4.0, .backoff = 2.0},
+//   });
+//
+// DirectoryOptions field guide (all fields designated-init friendly):
+//   .policy      NewParent policy (Arrow, Ivy, ring bridge, ...).
+//   .kback_k     k for PolicyKind::kKBack only.
+//   .discipline  sim-only: delivery order (timed / fifo / lifo / random).
+//   .seed        master seed for delivery, policy tie-breaks and faults.
+//   .delay       sim-only: DelayModel for Discipline::kTimed (cloned;
+//                default distance-proportional). Shared_ptr so options stay
+//                copyable: `.delay = arvy::sim::make_uniform_delay(1, 5)`.
+//   .faults      declarative fault schedule (faults/fault_plan.hpp); the
+//                default empty plan is a strict no-op.
+//   .retry       retransmission policy re-driving dropped messages.
+//   .initial     initial tree; when unset the directory builds a
+//                shortest-path tree from the metrically central node, and
+//                for PolicyKind::kBridge on canonical rings the Algorithm 2
+//                split is used.
 #pragma once
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "proto/engine.hpp"
 #include "proto/policies.hpp"
 
@@ -28,44 +64,134 @@ struct DirectoryOptions {
   std::size_t kback_k = 2;  // only for PolicyKind::kKBack
   sim::Discipline discipline = sim::Discipline::kTimed;
   std::uint64_t seed = 1;
+  // Shared so DirectoryOptions stays copyable; cloned into each engine.
+  std::shared_ptr<sim::DelayModel> delay;
+  faults::FaultPlan faults;
+  faults::RetryPolicy retry;
   // Initial tree; when unset the directory builds a shortest-path tree from
   // the metrically central node, a sensible topology-agnostic default. For
   // PolicyKind::kBridge on canonical rings the Algorithm 2 split is used.
   std::optional<proto::InitialConfig> initial;
 };
 
-class Directory {
+// One observed message delivery, transport-agnostic.
+struct MessageEvent {
+  graph::NodeId from = graph::kInvalidNode;
+  graph::NodeId to = graph::kInvalidNode;
+  bool is_find = false;          // find vs token
+  proto::RequestId request = 0;  // the find's request; 0 for token
+  sim::Time at = 0.0;            // transport time of delivery
+  double distance = 0.0;         // shortest-path distance charged
+};
+
+// The transport-agnostic directory contract: everything here is meaningful
+// for both the discrete-event simulator and the threaded runtime. Code that
+// only needs this interface (benchmarks, fault matrices, examples) runs on
+// either engine.
+class AnyDirectory {
  public:
+  virtual ~AnyDirectory() = default;
+
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+  // Asynchronous acquire: the request enters the network. Precondition (§3):
+  // no outstanding request at v.
+  virtual proto::RequestId acquire(graph::NodeId v) = 0;
+
+  // Synchronous acquire: returns once v holds the object (simulated time for
+  // Directory, wall time for LiveDirectory).
+  virtual void acquire_and_wait(graph::NodeId v) = 0;
+
+  // Drives the directory until every submitted request is satisfied or the
+  // budget elapses (the budget is wall time for LiveDirectory and a safety
+  // bound for Directory, whose drain is logical). Returns whether all
+  // submitted requests are satisfied.
+  [[nodiscard]] virtual bool drain(
+      std::chrono::milliseconds budget = std::chrono::milliseconds(10'000)) = 0;
+
+  [[nodiscard]] virtual std::uint64_t submitted_count() const = 0;
+  [[nodiscard]] virtual std::uint64_t satisfied_count() const = 0;
+
+  // Value snapshot of the distance-weighted cost account (find + token).
+  [[nodiscard]] virtual proto::CostAccount cost_snapshot() const = 0;
+
+  // Aggregated fault-injection statistics; all-zero when no faults were
+  // declared or the transport records none.
+  [[nodiscard]] virtual faults::FaultStats fault_stats() const = 0;
+};
+
+// The simulator-backed directory: deterministic, seedable, and inspectable
+// after every event.
+class Directory final : public AnyDirectory {
+ public:
+  using MessageObserver = std::function<void(const MessageEvent&)>;
+  using SatisfiedObserver = std::function<void(const proto::RequestRecord&)>;
+  using EventObserver = std::function<void(const Directory&)>;
+
   explicit Directory(const graph::Graph& g, DirectoryOptions options = {});
 
-  // Asynchronous acquire: the request enters the network; call run() (or
-  // keep step()-ing) to let it complete.
-  proto::RequestId acquire(graph::NodeId v) { return engine_->submit(v); }
+  // --- AnyDirectory ---------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const override;
+  proto::RequestId acquire(graph::NodeId v) override;
+  void acquire_and_wait(graph::NodeId v) override;
+  [[nodiscard]] bool drain(std::chrono::milliseconds budget =
+                               std::chrono::milliseconds(10'000)) override;
+  [[nodiscard]] std::uint64_t submitted_count() const override;
+  [[nodiscard]] std::uint64_t satisfied_count() const override;
+  [[nodiscard]] proto::CostAccount cost_snapshot() const override;
+  [[nodiscard]] faults::FaultStats fault_stats() const override;
 
-  // Synchronous acquire: blocks (simulated time) until v holds the object.
-  void acquire_and_wait(graph::NodeId v);
-
+  // --- Simulation drivers ---------------------------------------------------
   // Drains the network.
-  void run() { engine_->run_until_idle(); }
-  bool step() { return engine_->step(); }
+  void run();
+  // Delivers one pending message; false when the network is quiet.
+  bool step();
+  // Sequential semantics (§6): each request issued after the previous one is
+  // satisfied. Concurrent semantics: timed arrivals with messages in flight.
+  void run_sequential(std::span<const graph::NodeId> sequence);
+  void run_concurrent(std::span<const proto::TimedRequest> requests);
 
-  [[nodiscard]] std::optional<graph::NodeId> holder() const {
-    return engine_->token_holder();
-  }
-  [[nodiscard]] const proto::CostAccount& costs() const noexcept {
-    return engine_->costs();
-  }
+  // --- Observers ------------------------------------------------------------
+  [[nodiscard]] std::optional<graph::NodeId> holder() const;
+  [[nodiscard]] const proto::CostAccount& costs() const noexcept;
   [[nodiscard]] const std::vector<proto::RequestRecord>& requests()
-      const noexcept {
-    return engine_->requests();
+      const noexcept;
+  [[nodiscard]] std::size_t unsatisfied_count() const;
+  [[nodiscard]] const graph::DistanceOracle& oracle() const noexcept;
+  [[nodiscard]] bool idle() const noexcept;
+
+  // Narrow observer hooks (one slot each; setting replaces the previous).
+  // on_message fires per handled delivery, on_satisfied per satisfied
+  // request, on_event after every protocol event (the invariant checker's
+  // seam - see verify::capture(const Directory&)).
+  void on_message(MessageObserver observer);
+  void on_satisfied(SatisfiedObserver observer);
+  void on_event(EventObserver observer);
+
+  // Read-only inspection seam for the verifier and analysis layers
+  // (verify::capture, analysis::measure_latency). Deliberately const: all
+  // mutation goes through the facade. LiveDirectory has no counterpart -
+  // portable code should stick to AnyDirectory + the observers above.
+  [[nodiscard]] const proto::SimEngine& inspect() const noexcept {
+    return *engine_;
   }
-  [[nodiscard]] proto::SimEngine& engine() noexcept { return *engine_; }
-  [[nodiscard]] const proto::SimEngine& engine() const noexcept {
+
+  // The raw engine escape hatch is deprecated: it leaked every internal
+  // seam (bus mutation, hook clobbering) through the facade. Use the typed
+  // drivers and observer hooks above; for read-only access use inspect().
+  [[deprecated("use the Directory drivers/observers, or inspect() for "
+               "read-only access")]] [[nodiscard]] proto::SimEngine&
+  engine() noexcept {
+    return *engine_;
+  }
+  [[deprecated("use inspect()")]] [[nodiscard]] const proto::SimEngine&
+  engine() const noexcept {
     return *engine_;
   }
 
  private:
   std::unique_ptr<proto::SimEngine> engine_;
+  EventObserver event_observer_;
 };
 
 // Several objects, each tracked by an independent Arvy instance over the
@@ -95,5 +221,11 @@ class MultiDirectory {
 // Builds the default initial configuration described in DirectoryOptions.
 [[nodiscard]] proto::InitialConfig default_initial_config(
     const graph::Graph& g, proto::PolicyKind policy);
+
+// Shared by Directory and LiveDirectory: policy + initial config resolution.
+[[nodiscard]] std::unique_ptr<proto::NewParentPolicy> resolve_policy(
+    const DirectoryOptions& options);
+[[nodiscard]] proto::InitialConfig resolve_initial_config(
+    const graph::Graph& g, const DirectoryOptions& options);
 
 }  // namespace arvy

@@ -44,6 +44,26 @@ SimEngine::SimEngine(const graph::Graph& g, const InitialConfig& init,
   bus_.set_handler([this](const sim::MessageBus<Message>::InFlight& entry) {
     on_delivery(entry);
   });
+  if (!options.faults.empty()) {
+    // The injector owns its own RNG stream, so fault draws never perturb
+    // the bus's delivery-order draws; an empty plan installs nothing at all
+    // (the strict-no-op contract guarded by test_golden_schedule).
+    injector_ = std::make_unique<faults::FaultInjector>(options.faults,
+                                                        options.retry);
+    bus_.set_send_filter([this](NodeId from, NodeId to, const Message& payload,
+                                sim::Time now, double distance) {
+      faults::MessageKind kind = faults::MessageKind::kToken;
+      RequestId request = 0;
+      if (const auto* find = std::get_if<FindMessage>(&payload)) {
+        kind = faults::MessageKind::kFind;
+        request = find->request;
+      }
+      const faults::Verdict verdict =
+          injector_->on_send(kind, from, to, now, distance, request);
+      return sim::SendVerdict{verdict.lost, verdict.extra_delay,
+                              verdict.duplicates};
+    });
+  }
 }
 
 RequestId SimEngine::submit(NodeId v) {
@@ -63,9 +83,7 @@ RequestId SimEngine::submit(NodeId v) {
   if (core.holds_token()) {
     // The holder's request is satisfied on the spot at zero cost; the model
     // only forbids *duplicate outstanding* requests.
-    auto& record = requests_.back();
-    record.satisfied_at = bus_.now();
-    record.satisfaction_index = ++satisfied_count_;
+    mark_satisfied(requests_.back());
   } else {
     dispatch(v, core.request_token(id));
   }
@@ -109,9 +127,14 @@ void SimEngine::run_until_idle() { bus_.run_until_idle(); }
 
 void SimEngine::run_sequential(std::span<const NodeId> sequence) {
   for (NodeId v : sequence) {
-    const RequestId id = submit(v);
+    // Under fault injection a permanently lost find can leave a node's
+    // request outstanding forever; queueing behind it (§3's remark) keeps
+    // the one-outstanding-per-node rule intact, and the quiescence assert
+    // only excuses requests a recorded permanent loss can explain.
+    const RequestId id = injector_ ? submit_queued(v) : submit(v);
     run_until_idle();
-    ARVY_ASSERT_MSG(requests_[id - 1].satisfied_at.has_value(),
+    ARVY_ASSERT_MSG(requests_[id - 1].satisfied_at.has_value() ||
+                        (injector_ && injector_->stats().permanent_losses > 0),
                     "sequential request left unsatisfied at quiescence");
   }
 }
@@ -130,7 +153,14 @@ void SimEngine::run_concurrent(std::span<const TimedRequest> requests) {
     // +infinity when idle, which also terminates the loop.
     while (bus_.next_deliver_at() <= request.at) bus_.step();
     if (bus_.now() < request.at) bus_.advance_time(request.at);
-    submit(request.node);
+    // Fault delays stretch satisfaction times, so a timed workload can
+    // re-request at a node whose previous request is still in flight;
+    // queueing preserves the model's rule instead of violating it.
+    if (injector_) {
+      submit_queued(request.node);
+    } else {
+      submit(request.node);
+    }
   }
   run_until_idle();
 }
@@ -154,21 +184,25 @@ std::optional<NodeId> SimEngine::token_holder() const {
   return std::nullopt;
 }
 
+void SimEngine::mark_satisfied(RequestRecord& record) {
+  record.satisfied_at = bus_.now();
+  record.satisfaction_index = ++satisfied_count_;
+  if (satisfied_hook_) satisfied_hook_(record);
+}
+
 void SimEngine::dispatch(NodeId from, Effects&& effects) {
   if (effects.satisfied.has_value()) {
     auto& record = requests_.at(*effects.satisfied - 1);
     ARVY_ASSERT_MSG(!record.satisfied_at.has_value(),
                     "request satisfied twice");
     ARVY_ASSERT(record.node == from);
-    record.satisfied_at = bus_.now();
-    record.satisfaction_index = ++satisfied_count_;
+    mark_satisfied(record);
     // One fell swoop (§3): every request queued at this node is satisfied
     // by the same token visit.
     for (RequestId queued : queued_[from]) {
       auto& waiting = requests_.at(queued - 1);
       ARVY_ASSERT(!waiting.satisfied_at.has_value());
-      waiting.satisfied_at = bus_.now();
-      waiting.satisfaction_index = ++satisfied_count_;
+      mark_satisfied(waiting);
     }
     queued_[from].clear();
   }
@@ -210,6 +244,7 @@ void SimEngine::dispatch(NodeId from, Effects&& effects) {
 }
 
 void SimEngine::on_delivery(const sim::MessageBus<Message>::InFlight& entry) {
+  if (message_hook_) message_hook_(entry);
   ArvyCore& core = cores_.at(entry.to);
   Effects effects = core.on_message(entry.payload);
   if (record_trace_) {

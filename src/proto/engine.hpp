@@ -6,10 +6,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "graph/distance_oracle.hpp"
 #include "graph/graph.hpp"
 #include "proto/core.hpp"
@@ -45,10 +48,22 @@ struct RequestRecord {
   std::uint64_t satisfaction_index = 0;
 };
 
+// A timed request arrival for run_concurrent (§3's concurrent semantics).
+struct TimedRequest {
+  NodeId node = graph::kInvalidNode;
+  sim::Time at = 0.0;
+};
+
 struct EngineOptions {
   sim::Discipline discipline = sim::Discipline::kTimed;
   std::unique_ptr<sim::DelayModel> delay;  // default: distance-proportional
   std::uint64_t seed = 1;
+  // Declarative fault schedule; the default (empty) plan is a strict no-op:
+  // no injector is constructed and the bus send path is untouched.
+  faults::FaultPlan faults;
+  // How dropped transmissions are re-driven; only consulted when `faults`
+  // declares drops.
+  faults::RetryPolicy retry;
   // When false, a find terminating at the token holder parks in n(w) and the
   // token leaves only on an explicit flush_token(w) - the paper's separate
   // "send token" event, used by scripted replays.
@@ -95,10 +110,7 @@ class SimEngine {
 
   // Concurrent semantics under the timed discipline: requests fire at their
   // given times while earlier messages are still in flight.
-  struct TimedRequest {
-    NodeId node = graph::kInvalidNode;
-    sim::Time at = 0.0;
-  };
+  using TimedRequest = proto::TimedRequest;
   void run_concurrent(std::span<const TimedRequest> requests);
 
   // --- Observers -----------------------------------------------------------
@@ -125,15 +137,35 @@ class SimEngine {
   // Structured event trace (empty unless Options::record_trace).
   [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
 
+  // The fault injector, or nullptr when Options::faults was empty. Its
+  // stats are the input to verify's relaxed (fault-modulo) audits.
+  [[nodiscard]] const faults::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+
   // Called after every protocol event (request submission or message
   // delivery); the invariant checker hooks in here.
   void set_post_event_hook(std::function<void(const SimEngine&)> hook) {
     post_event_hook_ = std::move(hook);
   }
 
+  // Called once per handled message delivery, before the protocol core
+  // processes it (suppressed duplicate copies do not fire).
+  void set_message_hook(
+      std::function<void(const sim::MessageBus<Message>::InFlight&)> hook) {
+    message_hook_ = std::move(hook);
+  }
+
+  // Called once per satisfied request (including queued ones released by
+  // the same token visit), right after the record is stamped.
+  void set_satisfied_hook(std::function<void(const RequestRecord&)> hook) {
+    satisfied_hook_ = std::move(hook);
+  }
+
  private:
   void dispatch(NodeId from, Effects&& effects);
   void on_delivery(const sim::MessageBus<Message>::InFlight& entry);
+  void mark_satisfied(RequestRecord& record);
 
   const graph::Graph* graph_;
   graph::DistanceOracle oracle_;
@@ -147,7 +179,10 @@ class SimEngine {
   std::uint64_t satisfied_count_ = 0;
   bool record_trace_ = false;
   TraceRecorder trace_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::function<void(const SimEngine&)> post_event_hook_;
+  std::function<void(const sim::MessageBus<Message>::InFlight&)> message_hook_;
+  std::function<void(const RequestRecord&)> satisfied_hook_;
 };
 
 }  // namespace arvy::proto

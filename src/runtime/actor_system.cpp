@@ -25,6 +25,14 @@ ActorSystem::ActorSystem(const graph::Graph& g,
     actor->jitter_rng = seeder.split();
     actors_.push_back(std::move(actor));
   }
+  start_ = std::chrono::steady_clock::now();
+  if (!options_.faults.empty()) {
+    // Counters only: a per-event log under a hot mutex would serialize the
+    // actors harder than the faults do.
+    injector_ = std::make_unique<faults::FaultInjector>(
+        options_.faults, options_.retry, /*record_events=*/false);
+    nurse_ = std::thread([this] { run_nurse(); });
+  }
   for (NodeId v = 0; v < g.node_count(); ++v) {
     actors_[v]->thread = std::thread([this, v] { run_node(v); });
   }
@@ -71,8 +79,30 @@ double ActorSystem::find_cost() const {
   return find_cost_;
 }
 
+std::uint64_t ActorSystem::find_messages() const {
+  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
+  return find_messages_;
+}
+
+std::uint64_t ActorSystem::token_messages() const {
+  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
+  return token_messages_;
+}
+
+faults::FaultStats ActorSystem::fault_stats() const {
+  std::lock_guard<support::RankedMutex> lock(faults_mutex_);
+  if (!injector_) return {};
+  return injector_->stats();
+}
+
 void ActorSystem::shutdown() {
   if (is_shut_down()) return;
+  // Order matters: the nurse pushes into mailboxes, so it must be stopped
+  // and joined before any mailbox closes (close-vs-push contract). Deferred
+  // items still pending are discarded - by the time callers shut down they
+  // have either waited for quiescence or accepted the loss.
+  delayed_.close();
+  if (nurse_.joinable()) nurse_.join();
   for (auto& actor : actors_) actor->mailbox.close();
   for (auto& actor : actors_) {
     if (actor->thread.joinable()) actor->thread.join();
@@ -109,6 +139,12 @@ void ActorSystem::run_node(NodeId v) {
                                       : actor.mailbox.pop();
   };
   while (auto envelope = next()) {
+    if (envelope->dedup != 0 &&
+        !actor.handled_dups.insert(envelope->dedup).second) {
+      // A copy of a duplicated send whose group was already handled: the
+      // wire is at-least-once, the protocol core sees exactly-once.
+      continue;
+    }
     proto::Effects effects;
     if (envelope->kind == Envelope::Kind::kRequest) {
       if (actor.core->holds_token()) {
@@ -139,15 +175,82 @@ void ActorSystem::deliver_effects(NodeId from, proto::Effects&& effects,
       std::lock_guard<support::RankedMutex> lock(stats_mutex_);
       if (proto::is_find(out.payload)) {
         find_cost_ += distance;
+        ++find_messages_;
       } else {
         token_cost_ += distance;
+        ++token_messages_;
       }
     }
     Envelope envelope;
     envelope.kind = Envelope::Kind::kProtocol;
     envelope.payload = std::move(out.payload);
     envelope.from = from;
-    actors_[out.to]->mailbox.push(std::move(envelope));
+    if (injector_) {
+      send_with_faults(out.to, std::move(envelope), distance);
+    } else {
+      // Actor-to-actor delivery may race a non-quiescent shutdown: once the
+      // peer's mailbox has closed, the message is part of the teardown's
+      // accepted loss, not a contract violation.
+      (void)actors_[out.to]->mailbox.try_push(std::move(envelope));
+    }
+  }
+}
+
+double ActorSystem::fault_now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double>(elapsed) /
+         std::chrono::duration<double>(options_.fault_time_unit);
+}
+
+void ActorSystem::send_with_faults(NodeId to, Envelope&& envelope,
+                                   double distance) {
+  faults::MessageKind kind = faults::MessageKind::kToken;
+  faults::RequestId request = 0;
+  if (const auto* find = std::get_if<proto::FindMessage>(&envelope.payload)) {
+    kind = faults::MessageKind::kFind;
+    request = find->request;
+  }
+  faults::Verdict verdict;
+  {
+    std::lock_guard<support::RankedMutex> lock(faults_mutex_);
+    verdict = injector_->on_send(kind, envelope.from, to, fault_now(),
+                                 distance, request);
+  }
+  if (verdict.lost) return;  // permanently lost: retries exhausted/disabled
+  if (verdict.duplicates > 0) {
+    envelope.dedup = next_dedup_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto unit =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          options_.fault_time_unit);
+  const auto now = std::chrono::steady_clock::now();
+  // Duplicate copies are staggered by the link's transit time so they arrive
+  // as genuine reorder hazards, not back-to-back mailbox neighbours.
+  for (std::uint32_t i = 0; i < verdict.duplicates; ++i) {
+    const auto stagger = unit * (i + 1.0) * std::max(distance, 1.0);
+    delayed_.push(
+        Deferred{to, envelope},
+        now +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                stagger));
+  }
+  if (verdict.extra_delay > 0.0) {
+    const auto defer =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            unit * verdict.extra_delay);
+    delayed_.push(Deferred{to, std::move(envelope)}, now + defer);
+    return;
+  }
+  (void)actors_[to]->mailbox.try_push(std::move(envelope));
+}
+
+void ActorSystem::run_nurse() {
+  // Single consumer of the delayed queue: re-drives deferred envelopes into
+  // their target mailbox once due. The queue closes strictly before the
+  // mailboxes do (see shutdown), so a plain push would already be safe;
+  // try_push keeps the nurse correct even if that ordering ever changes.
+  while (auto deferred = delayed_.pop_due()) {
+    (void)actors_[deferred->to]->mailbox.try_push(std::move(deferred->envelope));
   }
 }
 

@@ -19,8 +19,19 @@
 //    thread; shutdown() must not race with request() (close-vs-push is a
 //    contract violation in the mailbox) and node() is legal only after
 //    shutdown() has returned;
-//  - both mutexes are rank-checked (support/lock_rank.hpp): stats before
-//    mailbox is the only legal nesting order.
+//  - all mutexes are rank-checked (support/lock_rank.hpp): stats < faults <
+//    delayed-queue < mailbox is the only legal nesting order.
+//
+// Fault injection (Options::faults): the same faults::FaultInjector the
+// simulator uses, serialized behind its own mutex, decides each send's fate.
+// Deferred deliveries (retransmission backoff, pauses, storms, duplicate
+// staggering) park in a DelayedQueue drained by one nurse thread; sim-time
+// units scale to wall time via Options::fault_time_unit. Duplicate copies
+// carry a dedup id and are discarded by the receiving actor if the group was
+// already handled (at-least-once wire, exactly-once protocol core).
+// Shutdown closes and joins the nurse BEFORE closing mailboxes, so deferred
+// items never hit a closed mailbox; items still pending in the delayed
+// queue at shutdown are discarded.
 #pragma once
 
 #include <atomic>
@@ -29,13 +40,17 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "graph/distance_oracle.hpp"
 #include "graph/graph.hpp"
 #include "proto/core.hpp"
 #include "proto/init.hpp"
 #include "proto/policies.hpp"
+#include "runtime/delayed_queue.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/lock_rank.hpp"
 
@@ -50,6 +65,14 @@ struct ActorOptions {
   // Consume mailbox items in random order instead of FIFO: full asynchrony
   // (the paper never assumes channel ordering).
   bool reorder_mailboxes = false;
+  // Declarative fault schedule; empty = strict no-op (no injector, no nurse
+  // thread, the send path is exactly the fault-free one).
+  faults::FaultPlan faults;
+  faults::RetryPolicy retry;
+  // Wall-time length of one sim-time unit for the fault schedule: backoffs,
+  // storm windows and pause windows are declared in sim time and scaled by
+  // this on the threaded transport.
+  std::chrono::microseconds fault_time_unit{200};
 };
 
 class ActorSystem {
@@ -83,10 +106,19 @@ class ActorSystem {
   [[nodiscard]] std::uint64_t submitted_count() const noexcept {
     return next_request_.load(std::memory_order_acquire) - 1;
   }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return actors_.size();
+  }
 
   // Total distance-weighted traffic so far (find + token).
   [[nodiscard]] double total_cost() const;
   [[nodiscard]] double find_cost() const;
+  [[nodiscard]] std::uint64_t find_messages() const;
+  [[nodiscard]] std::uint64_t token_messages() const;
+
+  // Snapshot of the injector's counters (zero-initialized when no faults
+  // were declared). Callable from any thread.
+  [[nodiscard]] faults::FaultStats fault_stats() const;
 
   // Stops all node threads. Callers should wait_for_satisfied first so the
   // network is quiescent; pending mailbox items are still drained.
@@ -104,6 +136,14 @@ class ActorSystem {
     proto::RequestId request = 0;   // kRequest
     proto::Message payload;         // kProtocol
     NodeId from = graph::kInvalidNode;
+    // Non-zero when this envelope belongs to a duplicated send: copies share
+    // the id and the receiving actor handles only the first to arrive.
+    std::uint64_t dedup = 0;
+  };
+
+  struct Deferred {
+    NodeId to = graph::kInvalidNode;
+    Envelope envelope;
   };
 
   struct NodeActor {
@@ -113,11 +153,20 @@ class ActorSystem {
     Mailbox<Envelope> mailbox;
     std::thread thread;
     support::Rng jitter_rng{0};
+    // Dedup groups already handled; touched only by this node's thread.
+    std::unordered_set<std::uint64_t> handled_dups;
   };
 
   void run_node(NodeId v);
+  void run_nurse();
   void deliver_effects(NodeId from, proto::Effects&& effects,
                        support::Rng& jitter_rng);
+  // Routes one envelope through the fault injector (which must be active):
+  // drops it, defers it, and/or fans out duplicate copies.
+  void send_with_faults(NodeId to, Envelope&& envelope, double distance);
+  // Current fault-schedule time: wall time since construction, in sim-time
+  // units (fault_time_unit).
+  [[nodiscard]] double fault_now() const;
   // The single writer path for satisfied_: increment under stats_mutex_,
   // notify after releasing it (see the threading contract above).
   void note_satisfied();
@@ -133,6 +182,18 @@ class ActorSystem {
   std::condition_variable_any satisfied_cv_;
   double find_cost_ = 0.0;   // guarded by stats_mutex_
   double token_cost_ = 0.0;  // guarded by stats_mutex_
+  std::uint64_t find_messages_ = 0;   // guarded by stats_mutex_
+  std::uint64_t token_messages_ = 0;  // guarded by stats_mutex_
+
+  // Fault machinery; all null/idle when options.faults is empty.
+  std::unique_ptr<faults::FaultInjector> injector_;  // guarded by faults_mutex_
+  mutable support::RankedMutex faults_mutex_{support::lock_rank::kFaults,
+                                             "actor-faults"};
+  DelayedQueue<Deferred> delayed_;
+  std::thread nurse_;
+  std::atomic<std::uint64_t> next_dedup_{1};
+  std::chrono::steady_clock::time_point start_;
+
   // False until shutdown() has joined every node thread; the join provides
   // the happens-before edge that makes post-shutdown core inspection safe.
   std::atomic<bool> shut_down_{false};

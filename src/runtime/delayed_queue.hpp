@@ -1,0 +1,112 @@
+// A deadline-ordered holding pen for deferred runtime messages.
+//
+// The fault layer turns drops-with-retry, duplicate staggering, pauses and
+// storms into "deliver this later"; in the simulator that is a bigger
+// deliver_at, here it is a min-heap of (deadline, item) drained by one nurse
+// thread (ActorSystem's) that re-pushes due items into the target mailbox.
+//
+// Thread-safety contract (exercised by tests/test_fault_matrix.cpp under
+// ThreadSanitizer):
+//  - push may be called from any thread; pushing after close silently
+//    discards the item (a deferred message at shutdown is just dropped -
+//    callers quiesce first when they care);
+//  - pop_due blocks until some item's deadline passes or the queue closes,
+//    and is intended for a single consumer (the nurse thread);
+//  - close wakes the consumer; remaining items are discarded;
+//  - the internal mutex has rank kDelayed: above the stats mutex, below the
+//    mailboxes, so the nurse may push into a mailbox with nothing held and
+//    actors may defer items while charging costs.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "support/lock_rank.hpp"
+
+namespace arvy::runtime {
+
+template <typename T>
+class DelayedQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Holds `item` until `due`. Discards it when the queue is closed.
+  void push(T item, Clock::time_point due) {
+    auto boxed = std::make_unique<T>(std::move(item));
+    {
+      std::lock_guard<support::RankedMutex> lock(mutex_);
+      if (closed_) return;
+      heap_.push(Entry{due, seq_++, std::move(boxed)});
+    }
+    ready_.notify_one();
+  }
+
+  // Blocks until the earliest item is due (returning it) or the queue is
+  // closed (returning nullopt). Single consumer.
+  [[nodiscard]] std::optional<T> pop_due() {
+    std::unique_lock<support::RankedMutex> lock(mutex_);
+    while (true) {
+      if (heap_.empty()) {
+        if (closed_) return std::nullopt;
+        ready_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+        continue;
+      }
+      if (closed_) return std::nullopt;
+      const Clock::time_point due = heap_.top().due;
+      if (Clock::now() >= due) {
+        // top() is const-ref only; the const_cast move is safe because the
+        // entry is popped immediately after.
+        std::unique_ptr<T> item =
+            std::move(const_cast<Entry&>(heap_.top()).item);
+        heap_.pop();
+        return std::move(*item);
+      }
+      ready_.wait_until(lock, due);
+    }
+  }
+
+  void close() {
+    {
+      std::lock_guard<support::RankedMutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<support::RankedMutex> lock(mutex_);
+    return heap_.size();
+  }
+
+ private:
+  struct Entry {
+    Clock::time_point due;
+    std::uint64_t seq;  // FIFO among equal deadlines
+    // Boxed so heap sift moves a pointer, not T. Deferral volume is tiny
+    // (only faulted messages land here), and a payload with a std::variant
+    // inside trips gcc 12's bogus -Wmaybe-uninitialized (PR 105593) when
+    // moved through push_heap/pop_heap slots.
+    std::unique_ptr<T> item;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  mutable support::RankedMutex mutex_{support::lock_rank::kDelayed,
+                                      "delayed-queue"};
+  std::condition_variable_any ready_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace arvy::runtime

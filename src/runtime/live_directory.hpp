@@ -1,0 +1,72 @@
+// LiveDirectory: the AnyDirectory facade over the threaded actor runtime.
+//
+// Same contract as the simulator-backed arvy::Directory - submit requests,
+// drain, snapshot costs and fault stats - but execution is real OS
+// asynchrony: one thread per node, mailbox channels, wall-clock fault
+// windows. Code written against AnyDirectory runs on either transport; the
+// fault-matrix tests run the identical scenario list on both.
+//
+//   arvy::LiveDirectory dir(g, {.policy = arvy::proto::PolicyKind::kIvy,
+//                               .faults = {.drop_find = 0.1},
+//                               .retry = {.rto = 4.0}});
+//   dir.acquire(3);
+//   dir.acquire(6);
+//   bool all = dir.drain(std::chrono::seconds(5));
+//   dir.shutdown();
+//
+// The sim-only DirectoryOptions fields (discipline, delay) are ignored here:
+// the OS scheduler is the delivery discipline.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "proto/directory.hpp"
+#include "runtime/actor_system.hpp"
+
+namespace arvy {
+
+// Threaded-transport tuning knobs, orthogonal to the protocol options.
+struct LiveOptions {
+  // Random sender-side sleep in [0, max_jitter] per message; 0 disables.
+  std::chrono::microseconds max_jitter{0};
+  // Consume mailboxes in random order (full asynchrony).
+  bool reorder_mailboxes = false;
+  // Wall-time length of one sim-time unit for the fault schedule.
+  std::chrono::microseconds fault_time_unit{200};
+};
+
+class LiveDirectory final : public AnyDirectory {
+ public:
+  explicit LiveDirectory(const graph::Graph& g, DirectoryOptions options = {},
+                         LiveOptions live = {});
+  // Shuts the actor system down if the caller has not already.
+  ~LiveDirectory() override;
+
+  // --- AnyDirectory ---------------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const override;
+  proto::RequestId acquire(graph::NodeId v) override;
+  // Blocks until every request submitted so far is satisfied (the runtime
+  // counts satisfactions cumulatively, so "mine is done" is observed as
+  // "all submitted are done"; with one outstanding request per node that is
+  // the same thing). Asserts on timeout - a liveness bug, not a slow run.
+  void acquire_and_wait(graph::NodeId v) override;
+  [[nodiscard]] bool drain(std::chrono::milliseconds budget =
+                               std::chrono::milliseconds(10'000)) override;
+  [[nodiscard]] std::uint64_t submitted_count() const override;
+  [[nodiscard]] std::uint64_t satisfied_count() const override;
+  [[nodiscard]] proto::CostAccount cost_snapshot() const override;
+  [[nodiscard]] faults::FaultStats fault_stats() const override;
+
+  // --- Runtime-specific -----------------------------------------------------
+  // Stops all node threads (drain first for a quiescent stop). Idempotent.
+  void shutdown();
+  [[nodiscard]] bool is_shut_down() const noexcept;
+  // Post-shutdown inspection of a node's protocol core (tree sanity checks).
+  [[nodiscard]] const proto::ArvyCore& node(graph::NodeId v) const;
+
+ private:
+  std::unique_ptr<runtime::ActorSystem> system_;
+};
+
+}  // namespace arvy

@@ -9,8 +9,11 @@
 // under ThreadSanitizer):
 //  - push / pop / pop_random / size may be called from any thread;
 //  - close may race with consumers (they drain, then observe nullopt) but
-//    NOT with producers: push on a closed mailbox is a contract violation,
-//    so callers must quiesce or join producers before closing;
+//    NOT with push-producers: push on a closed mailbox is a contract
+//    violation, so push callers must quiesce or join before closing.
+//    Producers that may legitimately outlive quiescence (peer actors and
+//    the fault nurse during a non-quiescent shutdown) use try_push, which
+//    discards instead of aborting once the box is closed;
 //  - the internal mutex is rank-checked (support/lock_rank.hpp): holding a
 //    mailbox lock while acquiring any lower-ranked lock aborts.
 #pragma once
@@ -37,6 +40,22 @@ class Mailbox {
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
+  }
+
+  // Close-tolerant push for producers that may legitimately race shutdown
+  // (actor-to-actor deliveries, the fault nurse's deferred retries): the
+  // item is discarded once the box is closed, and the caller learns it.
+  // External submitters must keep using push - losing a user's request
+  // silently is a bug, losing in-flight traffic at teardown is the
+  // documented "accepted loss" of a non-quiescent shutdown.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<support::RankedMutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
   }
 
   // Blocks until an item is available or the box is closed; nullopt on

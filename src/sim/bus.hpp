@@ -9,6 +9,15 @@
 // Whatever the discipline, every sent message is delivered exactly once
 // before the bus reports idle - the "reliable network" assumption.
 //
+// Fault injection hooks through one seam: an optional SendFilter consulted
+// once per send (see set_send_filter). The filter can declare the message
+// permanently lost, add delivery delay (retransmission backoff, latency
+// storms), or request duplicate copies; duplicated copies share a dedup
+// group and only the first delivered copy reaches the handler (at-least-once
+// wire, exactly-once handler - the standard transport dedup). With no filter
+// installed the send path is bit-identical to the filter-free bus, which is
+// what keeps golden schedules stable (test_golden_schedule).
+//
 // Internals: in-flight messages live in a slot arena recycled through a
 // free list, so steady-state traffic performs no per-message heap
 // allocation (the payload's own buffers are moved, never copied). Send
@@ -23,9 +32,11 @@
 // test_replay and test_golden_schedule).
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -39,6 +50,13 @@ namespace arvy::sim {
 using graph::NodeId;
 using MessageId = std::uint64_t;
 
+// What a SendFilter tells the bus to do with one logical send.
+struct SendVerdict {
+  bool lost = false;             // permanently lost: never enqueued
+  Time extra_delay = 0.0;        // added to the delivery delay (kTimed only)
+  std::uint32_t duplicates = 0;  // extra copies sharing a dedup group
+};
+
 template <typename Msg>
 class MessageBus {
  public:
@@ -50,10 +68,17 @@ class MessageBus {
     Time sent_at = 0.0;
     Time deliver_at = 0.0;
     double distance = 0.0;
+    // Non-zero when this message was duplicated in flight: the id of the
+    // primary copy. Only the first delivered copy of a group is handled.
+    MessageId dup_group = 0;
   };
 
   // Called when a message is delivered.
   using Handler = std::function<void(const InFlight&)>;
+
+  // Consulted once per send() when installed; see the header comment.
+  using SendFilter = std::function<SendVerdict(
+      NodeId from, NodeId to, const Msg& payload, Time now, double distance)>;
 
   struct Options {
     Discipline discipline = Discipline::kTimed;
@@ -79,29 +104,39 @@ class MessageBus {
 
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  // Installs the fault-injection seam. Pass nullptr to remove. The filter
+  // runs on the caller's thread inside send(); it must not re-enter the bus.
+  void set_send_filter(SendFilter filter) { filter_ = std::move(filter); }
+
   // Enqueues a message; `distance` is the shortest-path distance the message
   // will traverse (cost accounting is the caller's concern; the bus uses it
-  // only for the timed delay model). Returns the message id.
+  // only for the timed delay model). Returns the message id, or 0 when an
+  // installed SendFilter declared the message permanently lost.
   MessageId send(NodeId from, NodeId to, Msg payload, double distance = 0.0) {
-    const MessageId id = next_id_++;
-    const std::uint32_t slot = acquire_slot();
-    InFlight& entry = slots_[slot].entry;
-    entry.id = id;
-    entry.from = from;
-    entry.to = to;
-    entry.payload = std::move(payload);
-    entry.sent_at = now_;
-    entry.distance = distance;
-    entry.deliver_at =
-        now_ + (discipline_ == Discipline::kTimed
-                    ? delay_->delay(from, to, distance, rng_)
-                    : 0.0);
-    slots_[slot].live = true;
-    ++live_count_;
-    push_order(slot);
-    if (discipline_ == Discipline::kTimed) {
-      timed_heap_.push({entry.deliver_at, id});
+    if (!filter_) return enqueue(from, to, std::move(payload), distance, 0.0, 0);
+    const SendVerdict verdict = filter_(from, to, payload, now_, distance);
+    if (verdict.lost) {
+      ++lost_;
+      return 0;
     }
+    if (verdict.duplicates == 0) {
+      return enqueue(from, to, std::move(payload), distance,
+                     verdict.extra_delay, 0);
+    }
+    // The primary copy's id names the dedup group (it is enqueued first, so
+    // the group id equals the returned message id).
+    const MessageId group = next_id_;
+    const MessageId id =
+        enqueue(from, to, payload, distance, verdict.extra_delay, group);
+    for (std::uint32_t i = 0; i < verdict.duplicates; ++i) {
+      // Copies trail the primary by one flight time each so that under
+      // kTimed they are genuine reorder hazards, not instant ghosts.
+      enqueue(from, to, payload, distance,
+              verdict.extra_delay +
+                  static_cast<double>(i + 1) * std::max(distance, 1.0),
+              group);
+    }
+    groups_.emplace(group, Group{verdict.duplicates + 1, false});
     return id;
   }
 
@@ -126,10 +161,29 @@ class MessageBus {
   void drop(MessageId id) {
     const std::uint32_t slot = lookup(id);
     ARVY_EXPECTS_MSG(slot != kNoSlot, "unknown or delivered message");
+    const MessageId group = slots_[slot].entry.dup_group;
     release(id, slot);
+    if (group != 0) retire_group_copy(group, /*delivered=*/false);
     ++dropped_;
   }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // Messages a SendFilter declared permanently lost (never enqueued).
+  [[nodiscard]] std::uint64_t lost() const noexcept { return lost_; }
+  // Deliveries suppressed because an earlier copy of the same dedup group
+  // already reached the handler.
+  [[nodiscard]] std::uint64_t suppressed() const noexcept {
+    return suppressed_;
+  }
+
+  // True when `entry` (still pending) is a duplicate copy whose group has
+  // already been handled: it is on the wire but semantically absent. The
+  // configuration capture skips such ghosts.
+  [[nodiscard]] bool logically_delivered(const InFlight& entry) const {
+    if (entry.dup_group == 0) return false;
+    const auto it = groups_.find(entry.dup_group);
+    return it != groups_.end() && it->second.delivered;
+  }
 
   // The recorded delivery order (empty unless Options::record_schedule).
   [[nodiscard]] const Schedule& schedule() const noexcept { return recorded_; }
@@ -234,8 +288,49 @@ class MessageBus {
     now_ = std::max(now_, entry.deliver_at);
     ++deliveries_;
     if (record_schedule_) recorded_.push_back(id);
+    if (entry.dup_group != 0 && retire_group_copy(entry.dup_group, true)) {
+      ++suppressed_;  // an earlier copy already reached the handler
+      return;
+    }
     ARVY_ASSERT_MSG(handler_ != nullptr, "no handler installed");
     handler_(entry);
+  }
+
+  // Internal send path shared by the plain and filtered cases.
+  MessageId enqueue(NodeId from, NodeId to, Msg payload, double distance,
+                    Time extra_delay, MessageId group) {
+    const MessageId id = next_id_++;
+    const std::uint32_t slot = acquire_slot();
+    InFlight& entry = slots_[slot].entry;
+    entry.id = id;
+    entry.from = from;
+    entry.to = to;
+    entry.payload = std::move(payload);
+    entry.sent_at = now_;
+    entry.distance = distance;
+    entry.dup_group = group;
+    entry.deliver_at =
+        now_ + (discipline_ == Discipline::kTimed
+                    ? delay_->delay(from, to, distance, rng_) + extra_delay
+                    : 0.0);
+    slots_[slot].live = true;
+    ++live_count_;
+    push_order(slot);
+    if (discipline_ == Discipline::kTimed) {
+      timed_heap_.push({entry.deliver_at, id});
+    }
+    return id;
+  }
+
+  // Retires one copy of a dedup group; returns whether the group had
+  // already been handled before this copy (i.e. this copy is a ghost).
+  bool retire_group_copy(MessageId group, bool delivered) {
+    const auto it = groups_.find(group);
+    ARVY_ASSERT(it != groups_.end());
+    const bool was_delivered = it->second.delivered;
+    if (delivered) it->second.delivered = true;
+    if (--it->second.remaining == 0) groups_.erase(it);
+    return was_delivered;
   }
 
   // --- Slot arena ----------------------------------------------------------
@@ -362,6 +457,13 @@ class MessageBus {
   support::Rng rng_;
   std::unique_ptr<DelayModel> delay_;
   Handler handler_;
+  SendFilter filter_;
+
+  struct Group {
+    std::uint32_t remaining = 0;  // copies still on the wire
+    bool delivered = false;       // some copy already reached the handler
+  };
+  std::unordered_map<MessageId, Group> groups_;
 
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoSlot;
@@ -388,6 +490,8 @@ class MessageBus {
   Time now_ = 0.0;
   std::uint64_t deliveries_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t lost_ = 0;
+  std::uint64_t suppressed_ = 0;
 };
 
 }  // namespace arvy::sim

@@ -28,6 +28,8 @@ namespace lock_rank {
 // reverse nesting is the deadlock-shaped one and is what the rank check
 // forbids.
 inline constexpr std::uint32_t kStats = 100;    // ActorSystem stats/CV mutex
+inline constexpr std::uint32_t kFaults = 120;   // ActorSystem fault injector
+inline constexpr std::uint32_t kDelayed = 150;  // runtime::DelayedQueue
 inline constexpr std::uint32_t kMailbox = 200;  // per-node runtime::Mailbox
 }  // namespace lock_rank
 

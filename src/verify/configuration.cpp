@@ -1,7 +1,9 @@
 #include "verify/configuration.hpp"
 
 #include <sstream>
+#include <unordered_set>
 
+#include "proto/directory.hpp"
 #include "support/assert.hpp"
 
 namespace arvy::verify {
@@ -81,7 +83,16 @@ Configuration capture(const proto::SimEngine& engine) {
       cfg.token_at = v;
     }
   }
+  // Duplicate copies injected by the fault layer share a dedup group: the
+  // logical message is one red edge (or one token in flight), whatever the
+  // copy count. Copies whose group was already handled are ghosts - the
+  // configuration must not see them at all.
+  std::unordered_set<sim::MessageId> seen_groups;
   for (const auto* entry : engine.bus().pending()) {
+    if (entry->dup_group != 0) {
+      if (engine.bus().logically_delivered(*entry)) continue;
+      if (!seen_groups.insert(entry->dup_group).second) continue;
+    }
     if (const auto* find = std::get_if<proto::FindMessage>(&entry->payload)) {
       RedEdge red;
       red.tail = entry->from;
@@ -95,9 +106,14 @@ Configuration capture(const proto::SimEngine& engine) {
       cfg.token_in_flight = {entry->from, entry->to};
     }
   }
-  ARVY_ASSERT_MSG(cfg.token_at.has_value() != cfg.token_in_flight.has_value(),
+  ARVY_ASSERT_MSG(cfg.token_at.has_value() != cfg.token_in_flight.has_value() ||
+                      engine.bus().lost() > 0,
                   "token must be exactly one of held or in flight");
   return cfg;
+}
+
+Configuration capture(const arvy::Directory& directory) {
+  return capture(directory.inspect());
 }
 
 }  // namespace arvy::verify

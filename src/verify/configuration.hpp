@@ -14,6 +14,10 @@
 #include "graph/graph.hpp"
 #include "proto/engine.hpp"
 
+namespace arvy {
+class Directory;
+}
+
 namespace arvy::verify {
 
 using graph::NodeId;
@@ -57,7 +61,12 @@ struct Configuration {
 };
 
 // Captures the configuration of a running engine: node states plus the
-// in-flight find/token messages on the bus.
+// in-flight find/token messages on the bus. Duplicate in-flight copies
+// injected by the fault layer collapse to their logical message; copies of
+// an already-handled group are invisible.
 [[nodiscard]] Configuration capture(const proto::SimEngine& engine);
+
+// Facade convenience: capture through Directory's read-only inspection seam.
+[[nodiscard]] Configuration capture(const arvy::Directory& directory);
 
 }  // namespace arvy::verify

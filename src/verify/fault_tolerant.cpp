@@ -1,0 +1,91 @@
+#include "verify/fault_tolerant.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "proto/directory.hpp"
+
+namespace arvy::verify {
+
+CheckResult check_all_relaxed(const Configuration& cfg,
+                              const faults::FaultStats& stats,
+                              const InvariantOptions& options) {
+  if (stats.permanent_losses == 0) return check_all(cfg, options);
+  if (stats.lost_tokens == 0) {
+    // Finds were lost but the token survives: its uniqueness and the
+    // next-chain structure must still hold. The BR/BG tree checks would
+    // fail only because the erased red edges disconnect them, so they are
+    // excused.
+    if (auto r = check_token(cfg); !r) return r;
+  }
+  return check_next_chains(cfg);
+}
+
+CheckResult audit_liveness_relaxed(const proto::SimEngine& engine,
+                                   const faults::FaultStats& stats) {
+  // The injector's accounting must balance regardless of outcome: every
+  // dropped transmission was either re-driven or declared permanently lost.
+  if (stats.drops != stats.retries + stats.permanent_losses) {
+    std::ostringstream os;
+    os << "fault accounting imbalance: " << stats.drops << " drops != "
+       << stats.retries << " retries + " << stats.permanent_losses
+       << " permanent losses";
+    return CheckResult::fail(os.str());
+  }
+  if (stats.permanent_losses !=
+      stats.lost_finds + stats.lost_tokens) {
+    return CheckResult::fail("permanent losses not classified by kind");
+  }
+  if (stats.permanent_losses == 0) return audit_liveness(engine);
+
+  if (!engine.bus().idle()) {
+    return CheckResult::fail("audit requires a quiescent network");
+  }
+  const auto& requests = engine.requests();
+  std::vector<std::uint64_t> order;
+  std::uint64_t unsatisfied = 0;
+  for (const proto::RequestRecord& r : requests) {
+    if (!r.satisfied_at.has_value()) {
+      ++unsatisfied;
+      continue;
+    }
+    if (*r.satisfied_at < r.submitted) {
+      std::ostringstream os;
+      os << "request " << r.id << " satisfied before submission";
+      return CheckResult::fail(os.str());
+    }
+    order.push_back(r.satisfaction_index);
+  }
+  // The satisfied prefix must still be a permutation of 1..m: losses starve
+  // requests, they never corrupt the order of the ones that did complete.
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i + 1) {
+      return CheckResult::fail(
+          "satisfaction order of completed requests is not 1..m");
+    }
+  }
+  // Excuse check: a lost token excuses anything; otherwise starvation needs
+  // at least one lost find to blame (a single lost find can orphan a whole
+  // waiting chain, so no per-request matching is attempted).
+  if (unsatisfied > 0 && stats.lost_tokens == 0 && stats.lost_finds == 0) {
+    std::ostringstream os;
+    os << unsatisfied << " requests unsatisfied but no permanent loss "
+       << "recorded that could orphan them";
+    return CheckResult::fail(os.str());
+  }
+  return CheckResult::pass();
+}
+
+CheckResult check_all_relaxed(const arvy::Directory& directory,
+                              const InvariantOptions& options) {
+  return check_all_relaxed(capture(directory.inspect()),
+                           directory.fault_stats(), options);
+}
+
+CheckResult audit_liveness_relaxed(const arvy::Directory& directory) {
+  return audit_liveness_relaxed(directory.inspect(), directory.fault_stats());
+}
+
+}  // namespace arvy::verify

@@ -1,0 +1,56 @@
+// Verification modulo a declared fault set.
+//
+// With retries enabled the injector turns every drop into a delayed
+// delivery, so Lemma 2 and Theorem 5 hold *unchanged* - the relaxed checks
+// below collapse to the strict ones whenever stats.permanent_losses == 0.
+// Only a permanent loss (retries disabled or exhausted) removes a message
+// from the network for good, and that is precisely where the paper's
+// guarantees are forfeit:
+//
+//   - a lost find erases a red edge, so the BR/BG tree invariants
+//     (Lemma 2) no longer mention it and its producer's request - plus any
+//     waiting chain later routed behind it - may starve;
+//   - a lost token is catastrophic: no configuration with a token exists
+//     any more, and every unsatisfied request is excused.
+//
+// The relaxed checks therefore run the strongest subset of the strict
+// checks that the declared losses cannot invalidate, and audit the
+// injector's own accounting (drops == retries + permanent losses) so a
+// transport cannot silently under-report.
+#pragma once
+
+#include "faults/injector.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+#include "verify/liveness.hpp"
+
+namespace arvy {
+class Directory;
+}
+
+namespace arvy::verify {
+
+// Lemma 2 + bookkeeping invariants modulo the recorded losses:
+//   no losses            -> check_all (strict)
+//   lost finds only      -> unique token + acyclic next chains (tree checks
+//                           would indict the erased red edges)
+//   lost tokens          -> acyclic next chains only
+[[nodiscard]] CheckResult check_all_relaxed(
+    const Configuration& cfg, const faults::FaultStats& stats,
+    const InvariantOptions& options = {});
+
+// Theorem 5 modulo the recorded losses. With no permanent losses this is
+// the strict audit. Otherwise: satisfied requests must still be sane
+// (satisfaction order a permutation of 1..m, no time travel), the injector's
+// drop accounting must balance, and an unsatisfied request is excused only
+// if the stats record a loss able to orphan it.
+[[nodiscard]] CheckResult audit_liveness_relaxed(
+    const proto::SimEngine& engine, const faults::FaultStats& stats);
+
+// Facade conveniences reading through Directory::inspect() / fault_stats().
+[[nodiscard]] CheckResult check_all_relaxed(
+    const arvy::Directory& directory, const InvariantOptions& options = {});
+[[nodiscard]] CheckResult audit_liveness_relaxed(
+    const arvy::Directory& directory);
+
+}  // namespace arvy::verify

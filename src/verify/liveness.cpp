@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "proto/directory.hpp"
+
 namespace arvy::verify {
 
 CheckResult audit_liveness(const proto::SimEngine& engine) {
@@ -57,6 +59,10 @@ CheckResult audit_liveness(const proto::SimEngine& engine) {
     }
   }
   return CheckResult::pass();
+}
+
+CheckResult audit_liveness(const arvy::Directory& directory) {
+  return audit_liveness(directory.inspect());
 }
 
 }  // namespace arvy::verify

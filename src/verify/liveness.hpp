@@ -8,10 +8,17 @@
 #include "proto/engine.hpp"
 #include "verify/invariants.hpp"
 
+namespace arvy {
+class Directory;
+}
+
 namespace arvy::verify {
 
 // Requires: the engine's bus is idle. Checks Theorem 5's conclusion for the
 // recorded request log.
 [[nodiscard]] CheckResult audit_liveness(const proto::SimEngine& engine);
+
+// Facade convenience: audit through Directory's read-only inspection seam.
+[[nodiscard]] CheckResult audit_liveness(const arvy::Directory& directory);
 
 }  // namespace arvy::verify

@@ -1,7 +1,10 @@
 // Tests for the public facade: Directory and MultiDirectory.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <type_traits>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "proto/directory.hpp"
@@ -98,6 +101,119 @@ TEST(MultiDirectory, TotalCostsAggregate) {
   EXPECT_DOUBLE_EQ(total.find_distance + total.token_distance,
                    dirs.object(0).costs().total_distance() +
                        dirs.object(1).costs().total_distance());
+}
+
+TEST(AnyDirectoryFacade, DirectoryWorksThroughTheBaseInterface) {
+  const auto g = graph::make_ring(8);
+  std::unique_ptr<AnyDirectory> dir =
+      std::make_unique<Directory>(g, DirectoryOptions{});
+  EXPECT_EQ(dir->node_count(), 8u);
+  const auto id = dir->acquire(3);
+  EXPECT_GT(id, 0u);
+  EXPECT_TRUE(dir->drain());
+  dir->acquire_and_wait(6);
+  EXPECT_EQ(dir->submitted_count(), 2u);
+  EXPECT_EQ(dir->satisfied_count(), 2u);
+  EXPECT_GT(dir->cost_snapshot().total_distance(), 0.0);
+  // No faults declared: the stats stay identically zero.
+  const auto stats = dir->fault_stats();
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.permanent_losses, 0u);
+}
+
+TEST(DirectoryObservers, MessageHookSeesEveryDelivery) {
+  const auto g = graph::make_ring(8);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  std::size_t finds = 0;
+  std::size_t tokens = 0;
+  dir.on_message([&](const MessageEvent& event) {
+    ASSERT_LT(event.from, 8u);
+    ASSERT_LT(event.to, 8u);
+    ASSERT_GT(event.distance, 0.0);
+    if (event.is_find) {
+      ASSERT_GT(event.request, 0u);
+      ++finds;
+    } else {
+      ASSERT_EQ(event.request, 0u);
+      ++tokens;
+    }
+  });
+  dir.acquire_and_wait(4);
+  // Observed counts match the charged cost account exactly.
+  EXPECT_EQ(finds, dir.costs().find_messages);
+  EXPECT_EQ(tokens, dir.costs().token_messages);
+  EXPECT_GT(finds + tokens, 0u);
+}
+
+TEST(DirectoryObservers, SatisfiedHookFiresOncePerRequestInOrder) {
+  const auto g = graph::make_grid(3, 3);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  std::vector<proto::RequestId> satisfied;
+  dir.on_satisfied([&](const proto::RequestRecord& record) {
+    EXPECT_TRUE(record.satisfied_at.has_value());
+    satisfied.push_back(record.id);
+  });
+  dir.run_sequential(std::vector<NodeId>{1, 5, 7, 2});
+  EXPECT_EQ(satisfied, (std::vector<proto::RequestId>{1, 2, 3, 4}));
+}
+
+TEST(DirectoryObservers, EventHookSeesAConsistentDirectoryAfterEveryEvent) {
+  const auto g = graph::make_ring(8);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  std::size_t events = 0;
+  dir.on_event([&](const Directory& d) {
+    ++events;
+    // The hook receives the facade itself, const: observers can capture and
+    // verify but never mutate mid-run.
+    EXPECT_LE(d.satisfied_count(), d.submitted_count());
+  });
+  dir.acquire_and_wait(5);
+  EXPECT_GT(events, 0u);
+}
+
+TEST(DirectoryOptions_, DesignatedInitCoversTheWholeSurface) {
+  const auto g = graph::make_ring(8);
+  // The Quickstart's "with faults and retries" form, verbatim shape.
+  Directory dir(g, {
+                       .policy = proto::PolicyKind::kIvy,
+                       .discipline = sim::Discipline::kTimed,
+                       .seed = 7,
+                       .delay = sim::make_uniform_delay(1.0, 3.0),
+                       .faults = {.drop_find = 0.1, .drop_token = 0.1},
+                       .retry = {.rto = 4.0, .backoff = 2.0},
+                   });
+  dir.run_sequential(std::vector<NodeId>{3, 6, 1});
+  EXPECT_TRUE(dir.drain());
+  EXPECT_EQ(dir.satisfied_count(), 3u);
+}
+
+TEST(DirectoryInspect, InspectIsReadOnlyAndMatchesTheFacade) {
+  const auto g = graph::make_ring(8);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  dir.acquire_and_wait(2);
+  const proto::SimEngine& engine = dir.inspect();
+  EXPECT_EQ(engine.requests().size(), dir.requests().size());
+  EXPECT_EQ(engine.token_holder(), dir.holder());
+  static_assert(
+      std::is_const_v<std::remove_reference_t<decltype(dir.inspect())>>,
+      "inspect() must hand out a const engine");
+}
+
+TEST(DirectoryDeprecated, EngineEscapeHatchStillWorksButWarns) {
+  // The deprecated escape hatch must keep compiling (downstream migration
+  // window) and keep returning the live engine. This test is the only
+  // sanctioned in-repo use.
+  const auto g = graph::make_ring(8);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
+  dir.acquire_and_wait(3);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  proto::SimEngine& engine = dir.engine();
+  const Directory& const_dir = dir;
+  const proto::SimEngine& const_engine = const_dir.engine();
+#pragma GCC diagnostic pop
+  EXPECT_EQ(&engine, &dir.inspect());
+  EXPECT_EQ(&const_engine, &dir.inspect());
 }
 
 TEST(MultiDirectory, ParallelAcquiresDrainWithRunAll) {

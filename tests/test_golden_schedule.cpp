@@ -56,13 +56,17 @@ std::vector<int> bus_random_mixed(std::uint64_t seed) {
   return seen;
 }
 
-sim::Schedule engine_schedule(sim::Discipline d, std::uint64_t seed) {
+sim::Schedule engine_schedule(sim::Discipline d, std::uint64_t seed,
+                              faults::FaultPlan faults = {},
+                              faults::RetryPolicy retry = {}) {
   const auto g = graph::make_ring(10);
   auto policy = proto::make_policy(proto::PolicyKind::kIvy);
   proto::SimEngine::Options options;
   options.discipline = d;
   options.seed = seed;
   options.record_schedule = true;
+  options.faults = std::move(faults);
+  options.retry = retry;
   proto::SimEngine engine(g, proto::ring_bridge_config(10), *policy,
                           std::move(options));
   engine.submit(0);
@@ -117,6 +121,40 @@ TEST(GoldenSchedule, EngineTimedSeed7) {
   const sim::Schedule golden = {1, 2,  3,  4,  5,  6,  8, 7,
                                 9, 10, 11, 12, 13, 14, 15};
   EXPECT_EQ(engine_schedule(sim::Discipline::kTimed, 7), golden);
+}
+
+TEST(GoldenSchedule, ZeroFaultPlanIsAStrictNoOp) {
+  // The fault seam's no-op contract: passing an explicitly-constructed empty
+  // FaultPlan (plus a retry policy, which is inert without a plan) must not
+  // install a send filter, must not consume a single extra rng draw, and
+  // must reproduce every golden schedule bit for bit. A "no faults" run that
+  // differs from the pre-fault-subsystem run would invalidate every recorded
+  // schedule and replay in the repo.
+  const faults::FaultPlan no_faults;
+  ASSERT_TRUE(no_faults.empty());
+  const faults::RetryPolicy retry = {.rto = 2.0, .backoff = 3.0};
+  EXPECT_EQ(engine_schedule(sim::Discipline::kRandom, 42, no_faults, retry),
+            (sim::Schedule{1, 3, 5, 7, 6, 8, 9, 4, 10, 11, 2, 12, 13, 14, 15}));
+  EXPECT_EQ(engine_schedule(sim::Discipline::kLifo, 7, no_faults, retry),
+            (sim::Schedule{2, 4, 5, 7, 8, 9, 6, 10, 3, 11, 12, 1, 13, 14, 15}));
+  EXPECT_EQ(engine_schedule(sim::Discipline::kTimed, 7, no_faults, retry),
+            (sim::Schedule{1, 2, 3, 4, 5, 6, 8, 7, 9, 10, 11, 12, 13, 14, 15}));
+
+  // And the engine really did not build an injector: zero fault bookkeeping.
+  const auto g = graph::make_ring(10);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  proto::SimEngine::Options options;
+  options.seed = 42;
+  options.faults = no_faults;
+  options.retry = retry;
+  proto::SimEngine engine(g, proto::ring_bridge_config(10), *policy,
+                          std::move(options));
+  EXPECT_EQ(engine.injector(), nullptr);
+  engine.submit(0);
+  engine.submit(5);
+  engine.run_until_idle();
+  EXPECT_EQ(engine.bus().lost(), 0u);
+  EXPECT_EQ(engine.unsatisfied_count(), 0u);
 }
 
 TEST(GoldenSchedule, GoldenScheduleReplays) {

@@ -6,14 +6,25 @@
 //   run  --graph <spec|file> --policy <name> --requests <N>
 //        [--workload uniform|zipf|local|roundrobin] [--seed <S>]
 //        [--concurrent <rate>] [--verify] [--trace] [--csv]
+//        [--faults <spec>] [--retry <spec>|off] [--transport sim|live]
 //
 // Graph specs: ring:N, wring:N (weighted), path:N, star:N, complete:N,
 // grid:RxC, torus:RxC, hypercube:D, tree:N, gnp:N:P, geo:N:R - or a path to
 // an edge-list file written by `gen`.
 //
+// Fault specs (see docs/FAULTS.md): comma-separated key=value pairs -
+// drop=P dropfind=P droptoken=P dup=P reorder=P[:SPIKE] storm=AT:DUR[:FACTOR]
+// pause=NODE:AT:DUR stall=AT:DUR seed=S. Retry specs: backoff=Mx rto=T cap=T
+// attempts=N, or `off` to let drops become permanent losses. With --faults,
+// --verify switches to the relaxed (fault-modulo) checks automatically.
+//
 // Examples:
 //   arvy_cli run --graph ring:64 --policy bridge --requests 200
 //   arvy_cli run --graph gnp:40:0.15 --policy ivy --concurrent 2.0 --verify
+//   arvy_cli run --graph ring:64 --policy ivy --requests 100
+//       --faults drop=0.1,dup=0.05 --retry backoff=2x --verify
+//   arvy_cli run --graph ring:16 --policy ivy --requests 50 --transport live
+//       --faults drop=0.05
 //   arvy_cli gen --graph grid:6x6 --out mesh.graph && arvy_cli info --graph mesh.graph
 #include <cstdio>
 #include <cstring>
@@ -27,12 +38,15 @@
 #include "analysis/competitive.hpp"
 #include "analysis/latency.hpp"
 #include "analysis/opt.hpp"
+#include "faults/fault_plan.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/tree_metrics.hpp"
 #include "proto/directory.hpp"
+#include "runtime/live_directory.hpp"
 #include "support/table.hpp"
 #include "verify/configuration.hpp"
+#include "verify/fault_tolerant.hpp"
 #include "verify/invariants.hpp"
 #include "verify/liveness.hpp"
 #include "workload/workload.hpp"
@@ -188,6 +202,52 @@ int cmd_info(const Flags& flags) {
   return 0;
 }
 
+void add_fault_rows(support::Table& table, const faults::FaultStats& stats) {
+  table.add_row({"fault_drops", support::Table::cell(stats.drops)});
+  table.add_row({"fault_retries", support::Table::cell(stats.retries)});
+  table.add_row({"fault_duplicates", support::Table::cell(stats.duplicates)});
+  table.add_row({"fault_delays", support::Table::cell(stats.delays)});
+  table.add_row(
+      {"fault_permanent_losses", support::Table::cell(stats.permanent_losses)});
+  table.add_row({"fault_overhead_distance",
+                 support::Table::cell(stats.overhead_distance, 1)});
+}
+
+// The threaded transport: requests submitted in sequence, drained by wall
+// clock. The simulator path stays the place for invariant checking and OPT
+// comparisons; this one demonstrates the same plan surviving real threads.
+int cmd_run_live(const Flags& flags, const graph::Graph& g,
+                 const DirectoryOptions& options,
+                 const std::vector<NodeId>& sequence) {
+  LiveDirectory directory(g, options);
+  for (NodeId v : sequence) directory.acquire_and_wait(v);
+  const bool drained = directory.drain(std::chrono::milliseconds(10'000));
+  const proto::CostAccount costs = directory.cost_snapshot();
+  const faults::FaultStats stats = directory.fault_stats();
+  directory.shutdown();
+
+  support::Table table({"metric", "value"});
+  table.add_row({"transport", "live"});
+  table.add_row(
+      {"policy", std::string(proto::policy_kind_name(options.policy))});
+  table.add_row({"nodes", support::Table::cell(g.node_count())});
+  table.add_row({"requests", support::Table::cell(directory.submitted_count())});
+  table.add_row({"satisfied", support::Table::cell(directory.satisfied_count())});
+  table.add_row({"find_distance", support::Table::cell(costs.find_distance, 1)});
+  table.add_row({"token_distance",
+                 support::Table::cell(costs.token_distance, 1)});
+  table.add_row({"find_messages", support::Table::cell(costs.find_messages)});
+  table.add_row({"token_messages", support::Table::cell(costs.token_messages)});
+  table.add_row({"all_satisfied", drained ? "yes" : "NO"});
+  if (!options.faults.empty()) add_fault_rows(table, stats);
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return drained ? 0 : 1;
+}
+
 int cmd_run(const Flags& flags) {
   const std::uint64_t seed =
       flags.has("seed") ? std::stoull(flags.require("seed")) : 1;
@@ -199,18 +259,39 @@ int cmd_run(const Flags& flags) {
   DirectoryOptions options;
   options.policy = policy_kind;
   options.seed = seed;
+  if (auto spec = flags.get("faults"); spec.has_value()) {
+    options.faults = faults::parse_fault_plan(*spec);
+  }
+  if (auto spec = flags.get("retry"); spec.has_value()) {
+    options.retry = faults::parse_retry_policy(*spec);
+  }
+  const bool faulty = !options.faults.empty();
   const proto::InitialConfig init = default_initial_config(g, policy_kind);
   options.initial = init;
+
+  if (flags.get("transport").value_or("sim") == "live") {
+    if (flags.has("concurrent")) {
+      usage_error("--transport live drives a sequential workload only");
+    }
+    const std::string workload_kind = flags.get("workload").value_or("uniform");
+    const auto sequence = build_workload(workload_kind, g, count, rng);
+    return cmd_run_live(flags, g, options, sequence);
+  }
+
   Directory directory(g, options);
 
-  // Optional invariant checking after every event.
+  // Optional invariant checking after every event: strict Lemma 2 on clean
+  // runs, relaxed (fault-modulo, see verify/fault_tolerant.hpp) when the
+  // plan may legitimately erase messages.
   std::size_t events = 0;
   std::size_t violations = 0;
   std::string first_violation;
   if (flags.has("verify")) {
-    directory.engine().set_post_event_hook([&](const proto::SimEngine& eng) {
+    directory.on_event([&](const Directory& dir) {
       ++events;
-      const auto check = verify::check_all(verify::capture(eng));
+      const auto check =
+          faulty ? verify::check_all_relaxed(dir)
+                 : verify::check_all(verify::capture(dir));
       if (!check.ok) {
         ++violations;
         if (first_violation.empty()) first_violation = check.detail;
@@ -224,23 +305,23 @@ int cmd_run(const Flags& flags) {
     const std::size_t arrivals = std::min(count, g.node_count());
     const auto requests =
         workload::poisson_arrivals(g.node_count(), arrivals, rate, rng);
-    directory.engine().run_concurrent(requests);
+    directory.run_concurrent(requests);
     std::vector<NodeId> requesters;
     for (const auto& r : requests) requesters.push_back(r.node);
-    opt = analysis::opt_burst_lower_bound(directory.engine().oracle(),
-                                          init.root, requesters);
+    opt = analysis::opt_burst_lower_bound(directory.oracle(), init.root,
+                                          requesters);
   } else {
     const std::string workload_kind =
         flags.get("workload").value_or("uniform");
     const auto sequence = build_workload(workload_kind, g, count, rng);
-    directory.engine().run_sequential(sequence);
-    opt = analysis::opt_sequential(directory.engine().oracle(), init.root,
-                                   sequence);
+    directory.run_sequential(sequence);
+    opt = analysis::opt_sequential(directory.oracle(), init.root, sequence);
   }
 
   const auto& costs = directory.costs();
-  const auto liveness = verify::audit_liveness(directory.engine());
-  const auto latency = analysis::measure_latency(directory.engine());
+  const auto liveness = faulty ? verify::audit_liveness_relaxed(directory)
+                               : verify::audit_liveness(directory);
+  const auto latency = analysis::measure_latency(directory.inspect());
 
   support::Table table({"metric", "value"});
   table.add_row({"policy", std::string(proto::policy_kind_name(policy_kind))});
@@ -260,7 +341,9 @@ int cmd_run(const Flags& flags) {
   }
   table.add_row({"latency_p50", support::Table::cell(latency.latency.p50, 2)});
   table.add_row({"latency_p99", support::Table::cell(latency.latency.p99, 2)});
-  table.add_row({"liveness", liveness.ok ? "ok" : liveness.detail});
+  table.add_row({faulty ? "liveness_relaxed" : "liveness",
+                 liveness.ok ? "ok" : liveness.detail});
+  if (faulty) add_fault_rows(table, directory.fault_stats());
   if (flags.has("verify")) {
     table.add_row({"events_checked", support::Table::cell(events)});
     table.add_row({"invariant_violations", support::Table::cell(violations)});
