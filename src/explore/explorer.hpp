@@ -1,0 +1,211 @@
+// Bounded systematic exploration of SimEngine interleavings.
+//
+// The paper's asynchrony model (§3) fixes only that messages arrive after
+// arbitrary finite delays; the safety results (Lemma 2, Lemma 3) are claimed
+// for *every* delivery order and the liveness result (Theorem 5) for every
+// complete execution. The simulator's disciplines (timed/fifo/lifo/random)
+// each realize one schedule per seed; this module instead enumerates ALL
+// schedules of a small closed scenario and runs verify::check_all on every
+// reachable configuration plus audit_liveness at every quiescent one. Each
+// discipline's schedule is one of the enumerated interleavings, so a clean
+// exhaustive run subsumes any per-discipline spot check (docs/TESTING.md).
+//
+// Mechanics: the engine has no undo, so the DFS is stateless-model-checking
+// style - a state is (re)entered by replaying its action prefix from a fresh
+// engine. Reached configurations are deduplicated through canonicalized
+// verify::Configuration snapshots, and a sleep-set (DPOR) reduction built on
+// explore::independent() prunes commuting permutations without losing any
+// reachable state. Optional fault choice points (drop an in-flight message,
+// bounded by a budget) switch checking to the relaxed fault-modulo variants.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/independence.hpp"
+#include "graph/graph.hpp"
+#include "proto/engine.hpp"
+#include "proto/init.hpp"
+#include "proto/policies.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+namespace arvy::explore {
+
+using Trace = std::vector<Action>;
+
+// A closed exploration program: topology, policy, initial tree, and the
+// requests, all submitted up-front (§3's concurrent semantics in its purest
+// form - every find is in the network before the first delivery choice).
+struct Scenario {
+  std::string topology;  // canonical name, e.g. "ring6"
+  graph::Graph graph{1};
+  proto::PolicyKind policy = proto::PolicyKind::kArrow;
+  proto::InitialConfig init;
+  std::vector<graph::NodeId> requests;  // submitted in this order
+
+  [[nodiscard]] std::string name() const;  // "ring6/arrow"
+};
+
+// Known topologies: "triangle", "path4", "star5", "ring4", "ring6". The
+// initial tree is resolve-time identical to the Directory default (shortest
+// path tree from the metric center; Algorithm 2 split for kBridge on rings).
+// Empty `requests` selects a default spread of three non-root nodes (fewer
+// on the triangle). Throws std::invalid_argument for an unknown topology,
+// an out-of-range request, or PolicyKind::kRandom - exploration requires
+// the relation "same action prefix => same configuration", and a policy
+// that draws from the engine RNG breaks it (draw order depends on the
+// interleaving).
+[[nodiscard]] Scenario make_scenario(std::string_view topology,
+                                     proto::PolicyKind policy,
+                                     std::vector<graph::NodeId> requests = {});
+
+struct ExploreOptions {
+  // Budgets. Exploration is exhaustive iff none of them binds; stats.complete
+  // reports which outcome you got.
+  std::size_t max_depth = 512;
+  std::uint64_t max_states = 2'000'000;
+  double time_budget_seconds = std::numeric_limits<double>::infinity();
+
+  // Fault choice points: besides delivering, the explorer may drop any
+  // in-flight message, at most this many times per execution. Paths with at
+  // least one drop are checked with verify::check_all_relaxed /
+  // audit_liveness_relaxed against a synthesized loss account.
+  std::uint32_t fault_budget = 0;
+
+  // Sleep-set (DPOR) reduction. Off = naive DFS over the same state graph;
+  // the explorer visits the same set of states either way (the comparison
+  // test pins that), just through more transitions.
+  bool sleep_sets = true;
+
+  verify::InvariantOptions invariants;
+
+  // Collect every distinct quiescent configuration (canonicalized) into
+  // ExploreResult::quiescent_configs. The set of quiescent configurations is
+  // the model-level meaning of "every possible outcome": any delivery
+  // discipline's run ends in one of them (the subsumption test pins this).
+  bool collect_quiescent = false;
+
+  // Seeded-bug mode (tools/arvy_explore --seed-bug): on the K-th find
+  // delivery of every execution, insert `corrupt_with` into the find's
+  // visited list (just before the sender entry). A fabricated visited entry
+  // in the destination component is exactly what Lemma 2.3
+  // (check_source_components) forbids, so a correct checker must flag the
+  // very configuration the corrupted forward produces. 0 = off.
+  std::uint64_t corrupt_at_find_delivery = 0;
+  graph::NodeId corrupt_with = graph::kInvalidNode;
+};
+
+struct ExploreStats {
+  std::uint64_t states = 0;        // distinct states reached (cache size)
+  std::uint64_t transitions = 0;   // actions executed by the DFS driver
+  std::uint64_t cache_hits = 0;    // revisits pruned by the state cache
+  std::uint64_t sleep_prunes = 0;  // enabled actions suppressed by sleep sets
+  std::uint64_t re_expansions = 0; // cached states re-explored with a
+                                   // smaller sleep set (soundness rule for
+                                   // sleep sets + state caching)
+  std::uint64_t executions = 0;    // engine rebuilds (stateless re-execution)
+  std::uint64_t replay_steps = 0;  // actions re-applied during rebuilds
+  std::uint64_t quiescent = 0;     // distinct quiescent states audited
+  std::size_t max_frontier = 0;    // widest enabled-action set seen
+  std::size_t max_depth_seen = 0;
+  // XOR of all distinct state-key hashes: an order-independent fingerprint
+  // of the explored state set, equal between DPOR and naive runs.
+  std::uint64_t state_fingerprint = 0;
+  bool complete = true;  // no budget bound the search
+  double seconds = 0.0;
+};
+
+struct Violation {
+  Trace trace;         // minimized: shortest action sequence that fails
+  std::string detail;  // the failing CheckResult's description
+  std::string dot;     // Graphviz rendering of the offending configuration
+  bool liveness = false;  // quiescent liveness audit vs per-state invariant
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  std::optional<Violation> violation;
+  // Distinct quiescent configurations (empty unless collect_quiescent).
+  std::vector<verify::Configuration> quiescent_configs;
+};
+
+// Explores the scenario. On the first invariant or liveness failure the
+// search stops and the counterexample is minimized to a shortest failing
+// trace by breadth-first search over the same action graph (sleep sets off,
+// so minimization is exact even when the DFS that found the bug pruned).
+[[nodiscard]] ExploreResult explore(const Scenario& scenario,
+                                    const ExploreOptions& options = {});
+
+// Replays one trace with the same per-step checking the explorer applies.
+struct ReplayOutcome {
+  verify::CheckResult check;     // first failure, or pass
+  std::size_t failing_step = 0;  // actions applied when the failure fired
+                                 // (0 = initial state); only meaningful
+                                 // when !check.ok
+  bool liveness = false;
+  verify::Configuration final_config;  // last configuration inspected
+};
+[[nodiscard]] ReplayOutcome replay(const Scenario& scenario, const Trace& trace,
+                                   const ExploreOptions& options = {});
+
+// --- Engine-level helpers (shared with tests) ------------------------------
+
+// The semantic actions enabled at the engine's current state, in bus send
+// order (delivers first, then - if budget remains - the matching drops).
+[[nodiscard]] std::vector<ActionDesc> enabled_actions(
+    const proto::SimEngine& engine, std::uint32_t fault_budget_left = 0);
+
+// Resolves a semantic action to the in-flight message it names; 0 when no
+// pending message matches.
+[[nodiscard]] sim::MessageId resolve(const proto::SimEngine& engine,
+                                     const Action& action);
+
+// Applies one action (deliver or drop the resolved message). Returns false
+// (and does nothing) when the action is not currently enabled.
+[[nodiscard]] bool apply_action(proto::SimEngine& engine,
+                                const Action& action);
+
+// --- Counterexample trace files --------------------------------------------
+//
+// Line-oriented, human-readable, replayable:
+//   topology path4
+//   policy arrow
+//   requests 0 3
+//   fault-budget 1
+//   seed-bug 2 3          (only in seeded-bug mode: K and the bogus node)
+//   trace deliver:find:0 drop:find:3 deliver:token
+//   detail <free text to end of line>
+// Unknown keys are rejected; see docs/TESTING.md for the workflow.
+
+struct TraceFile {
+  Scenario scenario;
+  ExploreOptions options;  // fault_budget and seed-bug fields only
+  Trace trace;
+  std::string detail;
+};
+
+void write_trace(std::ostream& os, const Scenario& scenario,
+                 const ExploreOptions& options, const Trace& trace,
+                 std::string_view detail);
+// Throws std::invalid_argument on malformed input.
+[[nodiscard]] TraceFile read_trace(std::istream& is);
+
+[[nodiscard]] std::string format_action(const Action& action);
+[[nodiscard]] Action parse_action(std::string_view text);
+
+// Policy-kind lookup by the canonical policy_kind_name; throws
+// std::invalid_argument for unknown names.
+[[nodiscard]] proto::PolicyKind parse_policy_kind(std::string_view name);
+
+// Machine-readable stats summary (one JSON object; CI artifact format).
+[[nodiscard]] std::string stats_json(const Scenario& scenario,
+                                     const ExploreOptions& options,
+                                     const ExploreResult& result);
+
+}  // namespace arvy::explore

@@ -1,0 +1,79 @@
+// The independence relation driving the explorer's DPOR reduction.
+//
+// Model-checker actions are *semantic*, not bus-id-based: the model (§3)
+// allows at most one outstanding find per producer and exactly one token, so
+// "deliver the find by v" / "deliver the token" names an in-flight message
+// unambiguously in every configuration that has it pending. Semantic
+// identity is what makes traces replayable across interleavings and makes
+// sleep sets comparable across different paths into the same cached state
+// (raw MessageIds are assigned in send order, which varies with the
+// interleaving even between runs that reach identical configurations).
+//
+// Two enabled actions are independent when they commute (executing them in
+// either order reaches the same configuration) and neither disables the
+// other. The facts backing each arm are exactly the Lemma 1 commutativity
+// lemmas pinned by tests/test_commutativity.cpp, which derives its test
+// pairs from this very predicate - one predicate, exercised from both sides.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace arvy::explore {
+
+enum class ActionKind : std::uint8_t {
+  kDeliver,  // deliver the named in-flight message
+  kDrop,     // fault choice point: discard it (consumes fault budget)
+};
+
+// A replay-stable action. For finds, `producer` names the message; for the
+// token, producer is unused (there is only ever one token in flight).
+struct Action {
+  ActionKind kind = ActionKind::kDeliver;
+  bool token = false;
+  graph::NodeId producer = graph::kInvalidNode;  // find only
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+// An action plus the one piece of configuration context independence needs:
+// the node whose state a delivery would mutate. The target of a pending
+// message is fixed from send to delivery, so it is stable while the action
+// stays enabled - safe to carry inside sleep sets.
+struct ActionDesc {
+  Action action;
+  graph::NodeId target = graph::kInvalidNode;
+
+  friend bool operator==(const ActionDesc&, const ActionDesc&) = default;
+};
+
+[[nodiscard]] constexpr bool same_message(const Action& a,
+                                          const Action& b) noexcept {
+  return a.token == b.token && (a.token || a.producer == b.producer);
+}
+
+// The shared independence predicate. Symmetric. Conservative: every `true`
+// is backed by a commutation argument; anything uncertain is dependent.
+//
+//   deliver/deliver: independent iff the targets differ (Lemma 1: a delivery
+//     mutates exactly its target's node state and appends sends - deliveries
+//     at distinct nodes commute and cannot disable each other). Two
+//     messages bound for the *same* node are the schedule choices DPOR must
+//     explore, so they are dependent.
+//   deliver/drop: independent iff they name different messages (dropping one
+//     message neither perturbs another's delivery effects nor re-enables
+//     it). Deliver and drop of the same message are two fates of one
+//     message: each disables the other.
+//   drop/drop: always dependent - drops compete for the shared fault
+//     budget, so with one unit left, taking either disables the other.
+[[nodiscard]] constexpr bool independent(const ActionDesc& a,
+                                         const ActionDesc& b) noexcept {
+  const bool a_drop = a.action.kind == ActionKind::kDrop;
+  const bool b_drop = b.action.kind == ActionKind::kDrop;
+  if (a_drop && b_drop) return false;
+  if (a_drop || b_drop) return !same_message(a.action, b.action);
+  return !same_message(a.action, b.action) && a.target != b.target;
+}
+
+}  // namespace arvy::explore

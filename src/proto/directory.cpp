@@ -63,6 +63,7 @@ Directory::Directory(const graph::Graph& g, DirectoryOptions options) {
   if (options.delay) engine_options.delay = options.delay->clone();
   engine_options.faults = options.faults;
   engine_options.retry = options.retry;
+  engine_options.record_schedule = options.record_schedule;
   engine_ = std::make_unique<proto::SimEngine>(g, init, *policy,
                                                std::move(engine_options));
 }

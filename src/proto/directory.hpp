@@ -44,6 +44,8 @@
 //                shortest-path tree from the metrically central node, and
 //                for PolicyKind::kBridge on canonical rings the Algorithm 2
 //                split is used.
+//   .record_schedule  sim-only: record the delivery order for goldens and
+//                kScripted replay (read via inspect().bus().schedule()).
 #pragma once
 
 #include <chrono>
@@ -72,6 +74,11 @@ struct DirectoryOptions {
   // the metrically central node, a sensible topology-agnostic default. For
   // PolicyKind::kBridge on canonical rings the Algorithm 2 split is used.
   std::optional<proto::InitialConfig> initial;
+  // Sim-only: record the delivery order (message ids in delivery sequence).
+  // Read back via inspect().bus().schedule(); feed it to
+  // Discipline::kScripted to replay the exact run. The golden-schedule suite
+  // uses this to pin facade runs bit-for-bit across refactors.
+  bool record_schedule = false;
 };
 
 // One observed message delivery, transport-agnostic.

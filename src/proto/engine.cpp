@@ -246,7 +246,16 @@ void SimEngine::dispatch(NodeId from, Effects&& effects) {
 void SimEngine::on_delivery(const sim::MessageBus<Message>::InFlight& entry) {
   if (message_hook_) message_hook_(entry);
   ArvyCore& core = cores_.at(entry.to);
-  Effects effects = core.on_message(entry.payload);
+  Effects effects;
+  if (delivery_mutator_) {
+    // Bug-seeding seam: the mutated copy is what the core processes (and
+    // what its forwarded sends inherit); the wire entry stays untouched.
+    Message mutated = entry.payload;
+    delivery_mutator_(mutated);
+    effects = core.on_message(mutated);
+  } else {
+    effects = core.on_message(entry.payload);
+  }
   if (record_trace_) {
     TraceEvent event;
     event.at = bus_.now();

@@ -162,6 +162,16 @@ class SimEngine {
     satisfied_hook_ = std::move(hook);
   }
 
+  // Bug-seeding seam for the model checker (tools/arvy_explore --seed-bug):
+  // when installed, every handled delivery's payload is passed through the
+  // mutator before the core processes it, so the explorer can inject a
+  // protocol-level corruption (e.g. a fabricated visited entry) and prove
+  // the invariant checker catches it. Never installed by production
+  // drivers; with no mutator the delivery path is untouched.
+  void set_delivery_mutator(std::function<void(Message&)> mutator) {
+    delivery_mutator_ = std::move(mutator);
+  }
+
  private:
   void dispatch(NodeId from, Effects&& effects);
   void on_delivery(const sim::MessageBus<Message>::InFlight& entry);
@@ -183,6 +193,7 @@ class SimEngine {
   std::function<void(const SimEngine&)> post_event_hook_;
   std::function<void(const sim::MessageBus<Message>::InFlight&)> message_hook_;
   std::function<void(const RequestRecord&)> satisfied_hook_;
+  std::function<void(Message&)> delivery_mutator_;
 };
 
 }  // namespace arvy::proto

@@ -204,6 +204,24 @@ class MessageBus {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] std::uint64_t deliveries() const noexcept { return deliveries_; }
 
+  // --- Enumeration seam (tools/arvy_explore) -------------------------------
+  // Under the paper's network model (§3: arbitrary finite delays) every
+  // in-flight message may legally be the next one delivered, so the set of
+  // deliverable messages is exactly the live set. Returns their ids in send
+  // order - stable across replays, no rng draws, no mutation - so a
+  // systematic explorer can enumerate the choices and apply one via
+  // deliver(id) (or drop(id) for a fault choice point). The priority
+  // disciplines above are untouched: enumerating cannot perturb a recorded
+  // or golden schedule (pinned by test_sim_bus).
+  [[nodiscard]] std::vector<MessageId> deliverable_ids() const {
+    std::vector<MessageId> out;
+    out.reserve(live_count_);
+    for (const std::uint32_t slot : window_) {
+      if (slot != kNoSlot) out.push_back(slots_[slot].entry.id);
+    }
+    return out;
+  }
+
   // Snapshot of in-flight messages in send order (stable ids). Used by the
   // invariant checker to reconstruct red edges. The pointers are invalidated
   // by the next send (the arena may grow); copy what you need.
@@ -218,6 +236,13 @@ class MessageBus {
 
   // The earliest pending delivery - smallest deliver_at, ties by send order
   // - or nullptr when idle, without materializing a pending() snapshot.
+  // Tie-break contract (pinned by test_sim_bus so the enumeration seam can
+  // never silently change priority-mode schedules): message ids are assigned
+  // in send order, and the timed heap orders equal deliver_at by ascending
+  // id, so colliding timestamps deliver oldest-send first. Under kTimed and
+  // kFifo the peeked message is exactly what the next step() delivers; under
+  // kLifo/kRandom peek() still reports the *oldest* live message (the
+  // earliest deliver_at), which step()'s pick may ignore.
   // Amortized O(1); the pointer is invalidated by the next send/delivery.
   [[nodiscard]] const InFlight* peek() {
     if (live_count_ == 0) return nullptr;

@@ -1,12 +1,60 @@
 #include "verify/configuration.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 #include <unordered_set>
 
 #include "proto/directory.hpp"
 #include "support/assert.hpp"
 
 namespace arvy::verify {
+
+namespace {
+
+// splitmix64-style mix, the same construction support::Rng seeds with;
+// good avalanche for sequential combining.
+constexpr std::size_t mix(std::size_t h, std::uint64_t v) noexcept {
+  std::uint64_t z = (static_cast<std::uint64_t>(h) ^ v) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(z ^ (z >> 31));
+}
+
+// Optionals hash their presence distinctly from any payload value.
+constexpr std::uint64_t kAbsent = 0xa5a5a5a5a5a5a5a5ULL;
+
+}  // namespace
+
+void Configuration::canonicalize() {
+  std::sort(red_edges.begin(), red_edges.end(),
+            [](const RedEdge& a, const RedEdge& b) {
+              return std::tie(a.tail, a.head, a.producer, a.visited) <
+                     std::tie(b.tail, b.head, b.producer, b.visited);
+            });
+}
+
+std::size_t Configuration::hash() const noexcept {
+  std::size_t h = mix(0, parent.size());
+  for (const NodeId p : parent) h = mix(h, p);
+  for (const auto& n : next) h = mix(h, n.has_value() ? *n : kAbsent);
+  h = mix(h, red_edges.size());
+  for (const RedEdge& r : red_edges) {
+    h = mix(h, r.tail);
+    h = mix(h, r.head);
+    h = mix(h, r.producer);
+    h = mix(h, r.visited.size());
+    for (const NodeId v : r.visited) h = mix(h, v);
+  }
+  h = mix(h, token_at.has_value() ? *token_at : kAbsent);
+  if (token_in_flight.has_value()) {
+    h = mix(h, token_in_flight->first);
+    h = mix(h, token_in_flight->second);
+  } else {
+    h = mix(h, kAbsent);
+  }
+  return h;
+}
 
 std::vector<NodeId> Configuration::waiting_set(NodeId u) const {
   ARVY_EXPECTS(u < node_count());
@@ -106,8 +154,11 @@ Configuration capture(const proto::SimEngine& engine) {
       cfg.token_in_flight = {entry->from, entry->to};
     }
   }
+  // A SendFilter loss (lost()) or an explicit drop(id) - the explorer's
+  // fault choice points go through the latter - can legitimately erase the
+  // token; only a faultless capture may insist on exactly-one.
   ARVY_ASSERT_MSG(cfg.token_at.has_value() != cfg.token_in_flight.has_value() ||
-                      engine.bus().lost() > 0,
+                      engine.bus().lost() > 0 || engine.bus().dropped() > 0,
                   "token must be exactly one of held or in flight");
   return cfg;
 }

@@ -57,7 +57,30 @@ struct Configuration {
   // next-pointer annotations, token marked - the visual language of Fig. 1.
   [[nodiscard]] std::string to_dot() const;
 
+  // --- Identity ------------------------------------------------------------
+  // Equality is field-wise, so two captures of the same engine state compare
+  // equal, but red_edges keep bus send order: two runs that reach the same
+  // logical state via different interleavings may list them differently.
+  // canonicalize() sorts red_edges into a total order (tail, head, producer,
+  // visited) so that canonicalized configurations are equal exactly when
+  // they are the same §5 configuration - the identity the model checker's
+  // state cache deduplicates on.
+  void canonicalize();
+
+  // Hash consistent with operator== (equal configurations hash equal);
+  // canonicalize() both sides first for order-insensitive identity. This is
+  // a first-class API, not an explorer-internal detail - pinned by
+  // test_state_machine.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
   friend bool operator==(const Configuration&, const Configuration&) = default;
+};
+
+// Transparent hasher for unordered containers keyed by Configuration.
+struct ConfigurationHash {
+  [[nodiscard]] std::size_t operator()(const Configuration& cfg) const noexcept {
+    return cfg.hash();
+  }
 };
 
 // Captures the configuration of a running engine: node states plus the

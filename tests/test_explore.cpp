@@ -1,0 +1,311 @@
+// The arvy_explore model checker: exhaustive interleaving exploration with
+// sleep-set DPOR, counterexample minimization, and replay-as-test.
+//
+// The headline guarantees pinned here:
+//   - small closed scenarios explore exhaustively and cleanly (Lemma 2 on
+//     every reachable configuration, Theorem 5 at every quiescent one);
+//   - the DPOR reduction is a pure optimization: same state set and
+//     fingerprint as naive DFS, fewer transitions;
+//   - a seeded protocol-level corruption is caught, minimized to a shortest
+//     trace, and the emitted trace file replays to the same failure;
+//   - every delivery discipline's outcome is one of the explored quiescent
+//     configurations (exploration subsumes per-discipline spot checks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "explore/explorer.hpp"
+#include "explore/independence.hpp"
+#include "proto/engine.hpp"
+#include "proto/policies.hpp"
+#include "verify/configuration.hpp"
+
+namespace {
+
+using namespace arvy;
+using explore::Action;
+using explore::ActionDesc;
+using explore::ActionKind;
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::Scenario;
+using explore::Trace;
+
+TEST(Explore, TriangleArrowIsExhaustiveAndClean) {
+  const Scenario s = explore::make_scenario("triangle", proto::PolicyKind::kArrow);
+  const ExploreResult r = explore::explore(s);
+  EXPECT_FALSE(r.violation.has_value()) << r.violation->detail;
+  EXPECT_TRUE(r.stats.complete);
+  EXPECT_GT(r.stats.states, 0u);
+  EXPECT_GT(r.stats.quiescent, 0u);
+}
+
+TEST(Explore, MatrixIsExhaustiveAndClean) {
+  const struct {
+    const char* topology;
+    proto::PolicyKind policy;
+  } cases[] = {
+      {"path4", proto::PolicyKind::kArrow},
+      {"path4", proto::PolicyKind::kIvy},
+      {"star5", proto::PolicyKind::kIvy},
+      {"ring4", proto::PolicyKind::kBridge},
+      {"ring6", proto::PolicyKind::kArrow},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.topology);
+    const Scenario s = explore::make_scenario(c.topology, c.policy);
+    const ExploreResult r = explore::explore(s);
+    EXPECT_FALSE(r.violation.has_value())
+        << c.topology << ": " << r.violation->detail;
+    EXPECT_TRUE(r.stats.complete);
+  }
+}
+
+TEST(Explore, DporVisitsSameStatesWithFewerTransitions) {
+  const Scenario s = explore::make_scenario(
+      "ring6", proto::PolicyKind::kArrow, {1, 2, 3, 4, 5});
+  ExploreOptions dpor;
+  ExploreOptions naive;
+  naive.sleep_sets = false;
+  const ExploreResult with = explore::explore(s, dpor);
+  const ExploreResult without = explore::explore(s, naive);
+  ASSERT_FALSE(with.violation.has_value());
+  ASSERT_FALSE(without.violation.has_value());
+  ASSERT_TRUE(with.stats.complete);
+  ASSERT_TRUE(without.stats.complete);
+  // Sleep sets only prune transitions, never states: identical state sets
+  // (count and order-independent fingerprint), measurably fewer transitions.
+  EXPECT_EQ(with.stats.states, without.stats.states);
+  EXPECT_EQ(with.stats.state_fingerprint, without.stats.state_fingerprint);
+  EXPECT_LT(with.stats.transitions, without.stats.transitions);
+  EXPECT_GT(with.stats.sleep_prunes, 0u);
+  EXPECT_EQ(without.stats.sleep_prunes, 0u);
+}
+
+TEST(Explore, FaultBudgetBranchesStayCleanUnderRelaxedChecks) {
+  const Scenario s =
+      explore::make_scenario("path4", proto::PolicyKind::kArrow);
+  ExploreOptions faultless;
+  ExploreOptions faulty;
+  faulty.fault_budget = 1;
+  const ExploreResult base = explore::explore(s, faultless);
+  const ExploreResult with = explore::explore(s, faulty);
+  ASSERT_FALSE(base.violation.has_value());
+  ASSERT_FALSE(with.violation.has_value()) << with.violation->detail;
+  EXPECT_TRUE(with.stats.complete);
+  // Drop choice points open strictly more behaviors (every lossy branch,
+  // plus the loss-free ones the faultless run already covered).
+  EXPECT_GT(with.stats.states, base.stats.states);
+  EXPECT_GT(with.stats.quiescent, base.stats.quiescent);
+}
+
+TEST(Explore, SeededBugIsCaughtMinimizedAndReplayable) {
+  const Scenario s =
+      explore::make_scenario("path4", proto::PolicyKind::kArrow, {0, 3});
+  ExploreOptions bug;
+  bug.corrupt_at_find_delivery = 3;
+  bug.corrupt_with = 0;
+  const ExploreResult r = explore::explore(s, bug);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_FALSE(r.violation->liveness);
+  EXPECT_NE(r.violation->detail.find("find by 3"), std::string::npos)
+      << r.violation->detail;
+  EXPECT_FALSE(r.violation->dot.empty());
+
+  // Minimized: the corruption fires on the third find delivery, so no
+  // shorter trace can exhibit it - the minimizer must land exactly there.
+  EXPECT_EQ(r.violation->trace.size(), 3u);
+
+  // Replay-as-test, both sides: with the bug seeded the trace reproduces
+  // the violation at the same step; without it the very same schedule is
+  // clean (the trace indicts the seeded bug, not the protocol).
+  const explore::ReplayOutcome broken =
+      explore::replay(s, r.violation->trace, bug);
+  EXPECT_FALSE(broken.check.ok);
+  EXPECT_EQ(broken.failing_step, r.violation->trace.size());
+  EXPECT_EQ(broken.check.detail, r.violation->detail);
+  const explore::ReplayOutcome fixed = explore::replay(s, r.violation->trace);
+  EXPECT_TRUE(fixed.check.ok) << fixed.check.detail;
+}
+
+TEST(Explore, TraceFileRoundTrips) {
+  const Scenario s =
+      explore::make_scenario("path4", proto::PolicyKind::kArrow, {0, 3});
+  ExploreOptions options;
+  options.fault_budget = 1;
+  options.corrupt_at_find_delivery = 3;
+  options.corrupt_with = 0;
+  Trace trace;
+  trace.push_back(explore::parse_action("deliver:find:0"));
+  trace.push_back(explore::parse_action("drop:find:3"));
+  trace.push_back(explore::parse_action("deliver:token"));
+
+  std::stringstream buffer;
+  explore::write_trace(buffer, s, options, trace, "example detail");
+  const explore::TraceFile file = explore::read_trace(buffer);
+
+  EXPECT_EQ(file.scenario.topology, "path4");
+  EXPECT_EQ(file.scenario.policy, proto::PolicyKind::kArrow);
+  EXPECT_EQ(file.scenario.requests, (std::vector<graph::NodeId>{0, 3}));
+  EXPECT_EQ(file.options.fault_budget, 1u);
+  EXPECT_EQ(file.options.corrupt_at_find_delivery, 3u);
+  EXPECT_EQ(file.options.corrupt_with, 0u);
+  EXPECT_EQ(file.trace, trace);
+  EXPECT_EQ(file.detail, "example detail");
+
+  EXPECT_EQ(explore::format_action(trace[0]), "deliver:find:0");
+  EXPECT_EQ(explore::format_action(trace[1]), "drop:find:3");
+  EXPECT_EQ(explore::format_action(trace[2]), "deliver:token");
+  EXPECT_THROW((void)explore::parse_action("deliver:bogus"),
+               std::invalid_argument);
+  EXPECT_THROW((void)explore::read_trace(
+                   *std::make_unique<std::stringstream>("topology path4\n")),
+               std::invalid_argument);
+}
+
+// Committed counterexample traces replay as regression tests: each file
+// records a seeded bug whose violation the checker must keep catching, and
+// whose schedule must stay clean once the seeding is removed.
+TEST(Explore, CommittedTracesReplay) {
+  const std::filesystem::path dir = ARVY_EXPLORE_TRACE_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  std::size_t seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".trace") continue;
+    ++seen;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path());
+    const explore::TraceFile file = explore::read_trace(in);
+    const explore::ReplayOutcome seeded =
+        explore::replay(file.scenario, file.trace, file.options);
+    EXPECT_FALSE(seeded.check.ok)
+        << "committed counterexample no longer reproduces";
+    if (!file.detail.empty()) {
+      EXPECT_EQ(seeded.check.detail, file.detail);
+    }
+    ExploreOptions clean = file.options;
+    clean.corrupt_at_find_delivery = 0;
+    clean.corrupt_with = graph::kInvalidNode;
+    const explore::ReplayOutcome fixed =
+        explore::replay(file.scenario, file.trace, clean);
+    EXPECT_TRUE(fixed.check.ok) << fixed.check.detail;
+  }
+  EXPECT_GT(seen, 0u) << "no .trace files committed under " << dir;
+}
+
+// Every discipline's run is one schedule of the same action graph, so its
+// final configuration must be among the explored quiescent ones. This is
+// the formal sense in which exhaustive exploration subsumes per-discipline
+// spot checks.
+TEST(Explore, DisciplineRunsLandInExploredQuiescentSet) {
+  const Scenario s = explore::make_scenario("path4", proto::PolicyKind::kIvy);
+  ExploreOptions options;
+  options.collect_quiescent = true;
+  const ExploreResult r = explore::explore(s, options);
+  ASSERT_FALSE(r.violation.has_value());
+  ASSERT_TRUE(r.stats.complete);
+  ASSERT_FALSE(r.quiescent_configs.empty());
+
+  const auto policy = proto::make_policy(s.policy, 2);
+  for (const sim::Discipline discipline :
+       {sim::Discipline::kTimed, sim::Discipline::kFifo,
+        sim::Discipline::kLifo, sim::Discipline::kRandom}) {
+    for (const std::uint64_t seed : {1ULL, 7ULL, 1234ULL}) {
+      proto::EngineOptions engine_options;
+      engine_options.discipline = discipline;
+      engine_options.seed = seed;
+      proto::SimEngine engine(s.graph, s.init, *policy,
+                              std::move(engine_options));
+      for (const graph::NodeId v : s.requests) engine.submit(v);
+      engine.run_until_idle();
+      verify::Configuration cfg = verify::capture(engine);
+      cfg.canonicalize();
+      EXPECT_NE(std::find(r.quiescent_configs.begin(),
+                          r.quiescent_configs.end(), cfg),
+                r.quiescent_configs.end())
+          << "discipline " << static_cast<int>(discipline) << " seed " << seed
+          << " reached a configuration the explorer never saw";
+    }
+  }
+}
+
+TEST(Explore, ScenarioValidationRejectsBadInput) {
+  EXPECT_THROW((void)explore::make_scenario("klein-bottle",
+                                            proto::PolicyKind::kArrow),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)explore::make_scenario("path4", proto::PolicyKind::kRandom),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)explore::make_scenario("path4", proto::PolicyKind::kArrow, {9}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)explore::make_scenario("path4", proto::PolicyKind::kArrow, {1, 1}),
+      std::invalid_argument);
+  EXPECT_THROW((void)explore::parse_policy_kind("coinflip"),
+               std::invalid_argument);
+  EXPECT_EQ(explore::parse_policy_kind("arrow"), proto::PolicyKind::kArrow);
+}
+
+TEST(Explore, BudgetsTruncateAndReportIncomplete) {
+  const Scenario s = explore::make_scenario(
+      "ring6", proto::PolicyKind::kArrow, {1, 2, 3, 4, 5});
+  ExploreOptions options;
+  options.max_states = 10;
+  const ExploreResult r = explore::explore(s, options);
+  EXPECT_FALSE(r.stats.complete);
+  EXPECT_FALSE(r.violation.has_value());
+
+  ExploreOptions shallow;
+  shallow.max_depth = 2;
+  const ExploreResult rd = explore::explore(s, shallow);
+  EXPECT_FALSE(rd.stats.complete);
+  EXPECT_LE(rd.stats.max_depth_seen, 2u);
+}
+
+TEST(Explore, EnabledActionsTrackPendingMessages) {
+  const Scenario s =
+      explore::make_scenario("path4", proto::PolicyKind::kArrow, {0, 3});
+  const auto policy = proto::make_policy(s.policy, 2);
+  proto::SimEngine engine(s.graph, s.init, *policy);
+  for (const graph::NodeId v : s.requests) engine.submit(v);
+
+  const std::vector<ActionDesc> plain = explore::enabled_actions(engine);
+  ASSERT_EQ(plain.size(), 2u);  // one find per requester
+  for (const ActionDesc& d : plain) {
+    EXPECT_EQ(d.action.kind, ActionKind::kDeliver);
+    EXPECT_FALSE(d.action.token);
+  }
+  // With fault budget each pending message also offers a drop.
+  const std::vector<ActionDesc> with_drops =
+      explore::enabled_actions(engine, 1);
+  EXPECT_EQ(with_drops.size(), 4u);
+
+  // resolve() maps semantic actions to live bus ids; apply_action consumes.
+  const Action find0 = plain[0].action;
+  EXPECT_NE(explore::resolve(engine, find0), 0u);
+  EXPECT_TRUE(explore::apply_action(engine, find0));
+  EXPECT_EQ(explore::resolve(engine, find0), 0u);
+  Action token;
+  token.token = true;
+  // The first find terminated at the token holder: a token is now in flight.
+  EXPECT_NE(explore::resolve(engine, token), 0u);
+}
+
+TEST(Explore, StatsJsonIsWellFormed) {
+  const Scenario s = explore::make_scenario("triangle", proto::PolicyKind::kArrow);
+  const ExploreOptions options;
+  const ExploreResult r = explore::explore(s, options);
+  const std::string json = explore::stats_json(s, options, r);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"scenario\":\"triangle/arrow\""), std::string::npos);
+  EXPECT_NE(json.find("\"complete\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"violation\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"fingerprint\":\""), std::string::npos);
+}
+
+}  // namespace

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "proto/directory.hpp"
 #include "proto/engine.hpp"
 #include "proto/policies.hpp"
 #include "sim/bus.hpp"
@@ -155,6 +156,64 @@ TEST(GoldenSchedule, ZeroFaultPlanIsAStrictNoOp) {
   engine.run_until_idle();
   EXPECT_EQ(engine.bus().lost(), 0u);
   EXPECT_EQ(engine.unsatisfied_count(), 0u);
+}
+
+// A facade-level run: schedule recorded through DirectoryOptions, plus the
+// satisfaction order, so the golden pins the whole observable outcome.
+struct FacadeRun {
+  sim::Schedule schedule;
+  std::vector<graph::NodeId> satisfied;  // nodes in satisfaction order
+
+  friend bool operator==(const FacadeRun&, const FacadeRun&) = default;
+};
+
+FacadeRun facade_concurrent_run(sim::Discipline d, std::uint64_t seed,
+                                faults::FaultPlan faults = {}) {
+  const auto g = graph::make_ring(10);
+  Directory dir(g, {.policy = proto::PolicyKind::kIvy,
+                    .discipline = d,
+                    .seed = seed,
+                    .faults = std::move(faults),
+                    .record_schedule = true});
+  FacadeRun run;
+  dir.on_satisfied([&run](const proto::RequestRecord& r) {
+    run.satisfied.push_back(r.node);
+  });
+  const std::vector<proto::TimedRequest> requests = {
+      {.node = 0, .at = 0.0},
+      {.node = 5, .at = 0.5},
+      {.node = 8, .at = 1.0},
+      {.node = 2, .at = 1.5},
+  };
+  dir.run_concurrent(requests);
+  EXPECT_EQ(dir.unsatisfied_count(), 0u);
+  run.schedule = dir.inspect().bus().schedule();
+  return run;
+}
+
+TEST(GoldenSchedule, FacadeConcurrentRunWithInertFaultPlanMatchesFaultFree) {
+  // A NON-empty fault plan whose windows can never fire (a pause far past
+  // the run's horizon) installs the injector yet must not change one bit of
+  // the observable run: same delivery schedule, same satisfaction order, on
+  // a timed and a randomized discipline. This pins the stronger contract:
+  // not just "empty plan == no-op" (above) but "installed-but-idle injector
+  // == no-op" through the public facade, run_concurrent included.
+  faults::FaultPlan inert;
+  inert.pauses.push_back({.node = 3, .at = 1.0e9, .duration = 5.0});
+  ASSERT_FALSE(inert.empty());
+  for (sim::Discipline d : {sim::Discipline::kTimed, sim::Discipline::kRandom}) {
+    EXPECT_EQ(facade_concurrent_run(d, 42, inert), facade_concurrent_run(d, 42))
+        << "discipline " << static_cast<int>(d);
+  }
+}
+
+TEST(GoldenSchedule, FacadeConcurrentRunTimedSeed42) {
+  // Golden literal for the facade run itself, so drift is caught even if
+  // both sides of the comparison above drift together.
+  const FacadeRun run = facade_concurrent_run(sim::Discipline::kTimed, 42);
+  EXPECT_EQ(run.satisfied, (std::vector<graph::NodeId>{0, 8, 2, 5}));
+  EXPECT_EQ(run.schedule,
+            (sim::Schedule{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}));
 }
 
 TEST(GoldenSchedule, GoldenScheduleReplays) {

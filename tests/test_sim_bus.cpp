@@ -273,6 +273,131 @@ TEST(Bus, RandomSeedStabilityRegression) {
   EXPECT_EQ(seen, (std::vector<int>{11, 18, 12, 27, 25, 5}));
 }
 
+// --- Enumeration-seam contract (bus.hpp: peek / next_deliver_at /
+// deliverable_ids). arvy_explore trusts these to read the live set without
+// perturbing any discipline's schedule; this block pins that contract.
+
+TEST(Bus, TimedCollidingTimestampsDeliverInSendOrder) {
+  // Equal deliver_at values are routine (unit-distance edges under the
+  // default delay model). The timed heap orders ties by ascending id, and
+  // ids are assigned in send order, so collisions drain oldest-send first.
+  Bus bus(options(Discipline::kTimed));
+  std::vector<int> seen;
+  bus.set_handler([&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+  for (int i = 0; i < 6; ++i) bus.send(0, 1, {i}, /*distance=*/2.0);
+  bus.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(bus.now(), 2.0);
+}
+
+TEST(Bus, TimedPeekTracksCollidingHeadThroughDrops) {
+  // Three sends, two colliding at t=2: dropping the current head must move
+  // peek() to the next send at the SAME timestamp, not jump to t=5.
+  Bus bus(options(Discipline::kTimed));
+  bus.set_handler([](const Bus::InFlight&) {});
+  const auto a = bus.send(0, 1, {0}, /*distance=*/2.0);
+  bus.send(0, 2, {1}, /*distance=*/2.0);
+  bus.send(0, 3, {2}, /*distance=*/5.0);
+  const auto* head = bus.peek();
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->payload.tag, 0);
+  bus.drop(a);
+  head = bus.peek();
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->payload.tag, 1);
+  EXPECT_DOUBLE_EQ(bus.next_deliver_at(), 2.0);
+}
+
+TEST(Bus, PeekPredictsNextDeliveryUnderTimedAndFifo) {
+  // Under kTimed and kFifo the peeked message is exactly what the next
+  // step() delivers - including across timestamp collisions (distances
+  // repeat, so several sends share each deliver_at).
+  for (Discipline d : {Discipline::kTimed, Discipline::kFifo}) {
+    Bus bus(options(d));
+    std::vector<int> seen;
+    bus.set_handler(
+        [&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+    for (int i = 0; i < 9; ++i) {
+      bus.send(0, 1, {i}, /*distance=*/static_cast<double>(i % 3 + 1));
+    }
+    while (!bus.idle()) {
+      const auto* head = bus.peek();
+      ASSERT_NE(head, nullptr);
+      const int predicted = head->payload.tag;
+      const double at = bus.next_deliver_at();
+      EXPECT_DOUBLE_EQ(at, head->deliver_at);
+      ASSERT_TRUE(bus.step());
+      EXPECT_EQ(seen.back(), predicted);
+    }
+  }
+}
+
+TEST(Bus, LifoAndRandomPeekReportsOldestLiveNotThePick) {
+  // Under kLifo/kRandom peek() still answers "earliest pending delivery"
+  // (the oldest live message), which the discipline's pick may ignore.
+  for (Discipline d : {Discipline::kLifo, Discipline::kRandom}) {
+    Bus bus(options(d, 7));
+    std::vector<int> seen;
+    bus.set_handler(
+        [&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+    for (int i = 0; i < 4; ++i) bus.send(0, 1, {i});
+    const auto* head = bus.peek();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(head->payload.tag, 0);
+    ASSERT_TRUE(bus.step());
+    if (d == Discipline::kLifo) {
+      EXPECT_EQ(seen.back(), 3);  // newest delivered...
+      head = bus.peek();
+      ASSERT_NE(head, nullptr);
+      EXPECT_EQ(head->payload.tag, 0);  // ...oldest still reported
+    }
+  }
+}
+
+TEST(Bus, DeliverableIdsListLiveMessagesInSendOrder) {
+  Bus bus(options(Discipline::kFifo));
+  bus.set_handler([](const Bus::InFlight&) {});
+  const auto a = bus.send(0, 1, {0});
+  const auto b = bus.send(0, 2, {1});
+  const auto c = bus.send(0, 3, {2});
+  EXPECT_EQ(bus.deliverable_ids(),
+            (std::vector<arvy::sim::MessageId>{a, b, c}));
+  bus.drop(b);
+  EXPECT_EQ(bus.deliverable_ids(), (std::vector<arvy::sim::MessageId>{a, c}));
+  bus.deliver(a);
+  EXPECT_EQ(bus.deliverable_ids(), (std::vector<arvy::sim::MessageId>{c}));
+  bus.deliver(c);
+  EXPECT_TRUE(bus.deliverable_ids().empty());
+}
+
+TEST(Bus, EnumeratingDeliverablesDoesNotPerturbSchedules) {
+  // deliverable_ids() is const and peek()/next_deliver_at() draw no
+  // randomness: a bus probed before every step must produce the identical
+  // delivery schedule as an unprobed twin, under every discipline.
+  for (Discipline d : {Discipline::kTimed, Discipline::kFifo,
+                       Discipline::kLifo, Discipline::kRandom}) {
+    auto run = [d](bool probe) {
+      Bus bus(options(d, 42));
+      std::vector<int> seen;
+      bus.set_handler(
+          [&](const Bus::InFlight& m) { seen.push_back(m.payload.tag); });
+      for (int i = 0; i < 12; ++i) {
+        bus.send(0, 1, {i}, /*distance=*/static_cast<double>(i % 3 + 1));
+      }
+      while (!bus.idle()) {
+        if (probe) {
+          (void)bus.deliverable_ids();
+          (void)bus.peek();
+          (void)bus.next_deliver_at();
+        }
+        bus.step();
+      }
+      return seen;
+    };
+    EXPECT_EQ(run(true), run(false)) << "discipline " << static_cast<int>(d);
+  }
+}
+
 TEST(Bus, UniformDelayModelBoundsLatency) {
   Bus::Options o;
   o.discipline = Discipline::kTimed;

@@ -109,4 +109,117 @@ TEST(AuditDeath, InitialStatesMustBeCleanTree) {
   EXPECT_DEATH(StateMachineAudit{cfg}, "initial states");
 }
 
+// --- Configuration identity (canonicalize / hash / ConfigurationHash) ------
+// The §5 configuration is the model checker's state: its equality and hash
+// are first-class API, pinned here independently of the explorer.
+
+TEST(ConfigIdentity, RepeatedCapturesAreEqualAndHashEqual) {
+  const auto g = arvy::graph::make_path(5);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kArrow);
+  arvy::proto::SimEngine engine(g, arvy::proto::chain_config(5), *policy, {});
+  engine.submit(0);
+  engine.submit(3);
+  const Configuration a = capture(engine);
+  const Configuration b = capture(engine);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(ConfigurationHash{}(a), a.hash());
+}
+
+TEST(ConfigIdentity, InterleavingOrderWashesOutUnderCanonicalize) {
+  // Submitting {0,3} vs {3,0} reaches the same §5 configuration, but the
+  // red edges are listed in bus send order, so the raw captures differ.
+  // canonicalize() restores the order-insensitive identity the explorer's
+  // state cache deduplicates on - equality AND hash.
+  const auto g = arvy::graph::make_path(5);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kArrow);
+  auto run = [&](std::vector<NodeId> order) {
+    arvy::proto::SimEngine engine(g, arvy::proto::chain_config(5), *policy,
+                                  {});
+    for (const NodeId v : order) engine.submit(v);
+    return capture(engine);
+  };
+  Configuration a = run({0, 3});
+  Configuration b = run({3, 0});
+  ASSERT_EQ(a.red_edges.size(), 2u);
+  EXPECT_NE(a, b);  // send order differs...
+  a.canonicalize();
+  b.canonicalize();
+  EXPECT_EQ(a, b);  // ...the configuration does not
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ConfigIdentity, CanonicalizeIsIdempotent) {
+  const auto g = arvy::graph::make_path(5);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kArrow);
+  arvy::proto::SimEngine engine(g, arvy::proto::chain_config(5), *policy, {});
+  engine.submit(3);
+  engine.submit(0);
+  Configuration once = capture(engine);
+  once.canonicalize();
+  Configuration twice = once;
+  twice.canonicalize();
+  EXPECT_EQ(once, twice);
+  EXPECT_EQ(once.hash(), twice.hash());
+}
+
+TEST(ConfigIdentity, EveryFieldFeedsTheHash) {
+  // hash() must be sensitive to each Configuration field; a field silently
+  // dropped from the hash would let the state cache merge distinct states.
+  const Configuration base = chain(5, 4);
+  const std::size_t h = base.hash();
+
+  Configuration parent_changed = base;
+  parent_changed.parent[0] = 0;
+  EXPECT_NE(parent_changed.hash(), h);
+
+  Configuration next_changed = base;
+  next_changed.next[1] = 2;
+  EXPECT_NE(next_changed.hash(), h);
+
+  Configuration token_moved = base;
+  token_moved.token_at = 2;
+  EXPECT_NE(token_moved.hash(), h);
+
+  Configuration token_flying = base;
+  token_flying.token_at = std::nullopt;
+  token_flying.token_in_flight = {{4, 3}};
+  EXPECT_NE(token_flying.hash(), h);
+
+  Configuration red_added = base;
+  RedEdge red;
+  red.tail = 0;
+  red.head = 1;
+  red.producer = 0;
+  red.visited = {0};
+  red_added.red_edges.push_back(red);
+  EXPECT_NE(red_added.hash(), h);
+
+  Configuration visited_changed = red_added;
+  visited_changed.red_edges[0].visited = {0, 1};
+  EXPECT_NE(visited_changed.hash(), red_added.hash());
+}
+
+TEST(ConfigIdentity, CheckingDoesNotPerturbTheSnapshot) {
+  // capture -> check_all -> capture must be an identity: the checker (and
+  // the waiting_set/previous/top walks it performs) is read-only, so the
+  // explorer may check a state and then keep hashing it. Exercised mid-run,
+  // with finds in flight.
+  const auto g = arvy::graph::make_path(5);
+  auto policy = arvy::proto::make_policy(arvy::proto::PolicyKind::kArrow);
+  arvy::proto::SimEngine engine(g, arvy::proto::chain_config(5), *policy, {});
+  engine.submit(0);
+  engine.submit(3);
+  engine.step();
+  const Configuration before = capture(engine);
+  const auto result = arvy::verify::check_all(before);
+  ASSERT_TRUE(result.ok) << result.detail;
+  (void)before.waiting_set(0);
+  (void)before.previous(3);
+  (void)before.top(0);
+  const Configuration after = capture(engine);
+  EXPECT_EQ(before, after);
+  EXPECT_EQ(before.hash(), after.hash());
+}
+
 }  // namespace

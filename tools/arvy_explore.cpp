@@ -1,0 +1,231 @@
+// arvy_explore: bounded systematic exploration of Arvy interleavings.
+//
+// Enumerates every message-delivery interleaving (optionally with bounded
+// message-drop choice points) of a small closed scenario, checking the
+// Lemma 2 invariants on every reachable configuration and the Theorem 5
+// liveness audit at every quiescent one. Exits 0 on a clean (possibly
+// bounded) search, 1 with a minimized replayable counterexample on a
+// violation, 2 on usage errors. See docs/TESTING.md.
+//
+// Examples:
+//   arvy_explore --topology ring6 --policy bridge --require-complete
+//   arvy_explore --topology path4 --policy arrow --fault-budget 1
+//   arvy_explore --topology path4 --policy ivy --seed-bug 2:3
+//       --emit-trace /tmp/bug.trace  (one line)
+//   arvy_explore --replay /tmp/bug.trace
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "proto/policies.hpp"
+
+namespace {
+
+constexpr std::string_view kUsage = R"(usage: arvy_explore [options]
+
+Scenario (ignored with --replay):
+  --topology NAME       triangle | path4 | star5 | ring4 | ring6  [path4]
+  --policy NAME         arrow | ivy | bridge | midpoint | closest | kback |
+                        spectrum (random is rejected: exploration needs
+                        deterministic policies)                   [arrow]
+  --requests A,B,...    request nodes, submitted up-front  [3 spread nodes]
+
+Search:
+  --fault-budget N      allow up to N message drops per execution     [0]
+  --max-depth N         action-prefix depth bound                   [512]
+  --max-states N        distinct-state bound                    [2000000]
+  --time-budget SECS    wall-clock bound                      [unbounded]
+  --no-dpor             disable the sleep-set reduction (naive DFS)
+  --require-complete    exit 1 unless the search was exhaustive
+
+Bug seeding (checker sensitivity):
+  --seed-bug K:NODE     on the K-th find delivery of every execution,
+                        fabricate NODE into the find's visited list
+
+Output:
+  --stats-json FILE     write machine-readable stats (CI artifact)
+  --emit-trace FILE     write the minimized counterexample trace
+  --replay FILE         replay a trace file instead of exploring
+  --quiet               suppress the human-readable report
+)";
+
+struct CliOptions {
+  std::string topology = "path4";
+  std::string policy = "arrow";
+  std::vector<arvy::graph::NodeId> requests;
+  arvy::explore::ExploreOptions explore;
+  bool require_complete = false;
+  bool quiet = false;
+  std::string stats_json_path;
+  std::string emit_trace_path;
+  std::string replay_path;
+};
+
+std::vector<arvy::graph::NodeId> parse_node_list(const std::string& text) {
+  std::vector<arvy::graph::NodeId> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) throw std::invalid_argument("empty request entry");
+    out.push_back(static_cast<arvy::graph::NodeId>(std::stoul(item)));
+  }
+  return out;
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  const auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) {
+      throw std::invalid_argument(std::string(argv[i]) + " needs a value");
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--topology") {
+      cli.topology = need_value(i);
+    } else if (arg == "--policy") {
+      cli.policy = need_value(i);
+    } else if (arg == "--requests") {
+      cli.requests = parse_node_list(need_value(i));
+    } else if (arg == "--fault-budget") {
+      cli.explore.fault_budget =
+          static_cast<std::uint32_t>(std::stoul(need_value(i)));
+    } else if (arg == "--max-depth") {
+      cli.explore.max_depth = std::stoul(need_value(i));
+    } else if (arg == "--max-states") {
+      cli.explore.max_states = std::stoull(need_value(i));
+    } else if (arg == "--time-budget") {
+      cli.explore.time_budget_seconds = std::stod(need_value(i));
+    } else if (arg == "--no-dpor") {
+      cli.explore.sleep_sets = false;
+    } else if (arg == "--require-complete") {
+      cli.require_complete = true;
+    } else if (arg == "--seed-bug") {
+      const std::string value = need_value(i);
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--seed-bug expects K:NODE");
+      }
+      cli.explore.corrupt_at_find_delivery =
+          std::stoull(value.substr(0, colon));
+      cli.explore.corrupt_with = static_cast<arvy::graph::NodeId>(
+          std::stoul(value.substr(colon + 1)));
+    } else if (arg == "--stats-json") {
+      cli.stats_json_path = need_value(i);
+    } else if (arg == "--emit-trace") {
+      cli.emit_trace_path = need_value(i);
+    } else if (arg == "--replay") {
+      cli.replay_path = need_value(i);
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      std::exit(0);
+    } else {
+      throw std::invalid_argument("unknown option '" + std::string(arg) + "'");
+    }
+  }
+  return cli;
+}
+
+void print_stats(const arvy::explore::Scenario& scenario,
+                 const arvy::explore::ExploreResult& result) {
+  const arvy::explore::ExploreStats& st = result.stats;
+  std::cout << scenario.name() << ": "
+            << (st.complete ? "exhaustive" : "bounded") << " search, "
+            << st.states << " states, " << st.transitions << " transitions, "
+            << st.quiescent << " quiescent\n"
+            << "  dpor: " << st.sleep_prunes << " sleep prunes, "
+            << st.cache_hits << " cache hits, " << st.re_expansions
+            << " re-expansions\n"
+            << "  work: " << st.executions << " executions, "
+            << st.replay_steps << " replay steps, max frontier "
+            << st.max_frontier << ", max depth " << st.max_depth_seen << ", "
+            << st.seconds << " s\n";
+}
+
+int run_replay(const CliOptions& cli) {
+  std::ifstream in(cli.replay_path);
+  if (!in) {
+    std::cerr << "arvy_explore: cannot open '" << cli.replay_path << "'\n";
+    return 2;
+  }
+  const arvy::explore::TraceFile file = arvy::explore::read_trace(in);
+  const arvy::explore::ReplayOutcome outcome =
+      arvy::explore::replay(file.scenario, file.trace, file.options);
+  if (outcome.check.ok) {
+    if (!cli.quiet) {
+      std::cout << file.scenario.name() << ": trace of " << file.trace.size()
+                << " actions replays clean\n";
+    }
+    return 0;
+  }
+  if (!cli.quiet) {
+    std::cout << file.scenario.name() << ": "
+              << (outcome.liveness ? "liveness" : "invariant")
+              << " violation at step " << outcome.failing_step << "/"
+              << file.trace.size() << ": " << outcome.check.detail << '\n';
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  try {
+    cli = parse_cli(argc, argv);
+    if (!cli.replay_path.empty()) return run_replay(cli);
+
+    const arvy::explore::Scenario scenario = arvy::explore::make_scenario(
+        cli.topology, arvy::explore::parse_policy_kind(cli.policy),
+        cli.requests);
+    const arvy::explore::ExploreResult result =
+        arvy::explore::explore(scenario, cli.explore);
+
+    if (!cli.quiet) print_stats(scenario, result);
+    if (!cli.stats_json_path.empty()) {
+      std::ofstream out(cli.stats_json_path);
+      out << arvy::explore::stats_json(scenario, cli.explore, result) << '\n';
+    }
+
+    if (result.violation.has_value()) {
+      const arvy::explore::Violation& v = *result.violation;
+      std::cout << scenario.name() << ": "
+                << (v.liveness ? "LIVENESS" : "INVARIANT")
+                << " VIOLATION after " << v.trace.size()
+                << " actions: " << v.detail << '\n';
+      std::cout << "  minimized trace:";
+      for (const arvy::explore::Action& a : v.trace) {
+        std::cout << ' ' << arvy::explore::format_action(a);
+      }
+      std::cout << '\n';
+      if (!cli.emit_trace_path.empty()) {
+        std::ofstream out(cli.emit_trace_path);
+        arvy::explore::write_trace(out, scenario, cli.explore, v.trace,
+                                   v.detail);
+        std::cout << "  trace written to " << cli.emit_trace_path
+                  << " (replay: arvy_explore --replay "
+                  << cli.emit_trace_path << ")\n";
+      }
+      return 1;
+    }
+    if (cli.require_complete && !result.stats.complete) {
+      std::cerr << "arvy_explore: search hit a budget before completing "
+                << "(--require-complete)\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "arvy_explore: " << e.what() << '\n' << kUsage;
+    return 2;
+  }
+}
