@@ -24,7 +24,9 @@ if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
   exit 0
 fi
 
-mapfile -t files < <(git ls-files '*.cpp' '*.hpp')
+# lint_fixtures are arvy_lint *input* (deliberately wrong code), not part of
+# the formatted tree.
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp' ':!tests/lint_fixtures/**')
 echo "check_format: $CLANG_FORMAT ($MODE) over ${#files[@]} files ..."
 if [ "$MODE" = "fix" ]; then
   "$CLANG_FORMAT" -i "${files[@]}"

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Static analysis entry point: clang-tidy (curated .clang-tidy check set)
-# over every translation unit in src/, using a CMake compile database.
+# Static analysis entry point:
+#   1. tools/arvy_lint (project-specific rules: layering, lock, hotpath,
+#      msgpod, deprecation) over the whole tree - always runs; it only
+#      needs the C++ toolchain the repo already requires.
+#   2. clang-tidy (curated .clang-tidy check set) over every translation
+#      unit in src/ - skipped gracefully when the tool is absent.
 #
 # Usage:
-#   scripts/run_analysis.sh              # analyze src/ (skips if no clang-tidy)
-#   ARVY_ANALYSIS_STRICT=1 scripts/run_analysis.sh   # missing tool = failure (CI)
+#   scripts/run_analysis.sh              # arvy_lint + clang-tidy (if present)
+#   ARVY_ANALYSIS_STRICT=1 scripts/run_analysis.sh   # missing tidy = failure (CI)
 #   CLANG_TIDY=clang-tidy-18 scripts/run_analysis.sh # pick a specific binary
 #   BUILD_DIR=build scripts/run_analysis.sh          # reuse a configured tree
+#   ARVY_LINT_STATS=lint.json scripts/run_analysis.sh  # emit the JSON report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,23 +19,33 @@ CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
 STRICT=${ARVY_ANALYSIS_STRICT:-0}
 BUILD_DIR=${BUILD_DIR:-build-tidy}
 
+# One configure serves both passes: the compile database for clang-tidy and
+# for arvy_lint's TU/layer cross-check, EXAMPLES=ON so the tools/ directory
+# (which owns the arvy_lint target) is part of the build.
+if [ ! -f "$BUILD_DIR/compile_commands.json" ] \
+   || ! grep -q 'arvy_lint' "$BUILD_DIR/compile_commands.json"; then
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DARVY_BUILD_TESTS=OFF -DARVY_BUILD_BENCH=OFF -DARVY_BUILD_EXAMPLES=ON \
+    >/dev/null
+fi
+
+echo "run_analysis: building arvy_lint ..."
+cmake --build "$BUILD_DIR" --target arvy_lint >/dev/null
+lint_args=(--root . --compile-commands "$BUILD_DIR/compile_commands.json")
+if [ -n "${ARVY_LINT_STATS:-}" ]; then
+  lint_args+=(--stats-json "$ARVY_LINT_STATS")
+fi
+"$BUILD_DIR/tools/arvy_lint" "${lint_args[@]}"
+
 if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
   echo "run_analysis: '$CLANG_TIDY' not found."
   if [ "$STRICT" = "1" ]; then
     echo "run_analysis: ARVY_ANALYSIS_STRICT=1 -> failing." >&2
     exit 1
   fi
-  echo "run_analysis: skipping (set ARVY_ANALYSIS_STRICT=1 to make this fatal)."
+  echo "run_analysis: skipping clang-tidy (set ARVY_ANALYSIS_STRICT=1 to make this fatal)."
   exit 0
-fi
-
-# A compile database is all clang-tidy needs; skip tests/bench/examples so a
-# bare container without GTest/benchmark can still run the analysis.
-if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
-  cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
-    -DARVY_BUILD_TESTS=OFF -DARVY_BUILD_BENCH=OFF -DARVY_BUILD_EXAMPLES=OFF \
-    >/dev/null
 fi
 
 mapfile -t sources < <(git ls-files 'src/*/*.cpp')

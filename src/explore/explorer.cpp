@@ -173,7 +173,7 @@ class Execution {
   }
 
   [[nodiscard]] bool quiescent() const { return engine_->bus().idle(); }
-  [[nodiscard]] const proto::SimEngine& engine() const { return *engine_; }
+  [[nodiscard]] const proto::SimEngine& sim_engine() const { return *engine_; }
 
  private:
   // The explorer's drops bypass the fault injector, so the relaxed audits
@@ -587,7 +587,7 @@ ReplayOutcome replay(const Scenario& scenario, const Trace& trace,
   ReplayOutcome out;
 
   const auto inspect = [&](std::size_t applied) -> bool {
-    verify::Configuration cfg = verify::capture(exec.engine());
+    verify::Configuration cfg = verify::capture(exec.sim_engine());
     cfg.canonicalize();
     out.final_config = cfg;
     if (verify::CheckResult r = exec.check(cfg); !r) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/hot.hpp"
 
 namespace arvy::proto {
 
@@ -115,7 +116,11 @@ RequestId SimEngine::submit_queued(NodeId v) {
   return id;
 }
 
-bool SimEngine::step() { return bus_.step(); }
+// Hot-path discipline (lint `hotpath`): the per-event engine paths below
+// are ARVY_HOT - no allocation, locking, throwing, or logging. dispatch()
+// and on_delivery() stay un-annotated on purpose: they send (arena push)
+// and record traces; item 2's flat encoding is what shrinks them.
+ARVY_HOT bool SimEngine::step() { return bus_.step(); }
 
 void SimEngine::flush_token(NodeId v) {
   ARVY_EXPECTS(v < cores_.size());
@@ -172,19 +177,19 @@ std::size_t SimEngine::unsatisfied_count() const noexcept {
       }));
 }
 
-const ArvyCore& SimEngine::node(NodeId v) const {
+ARVY_HOT const ArvyCore& SimEngine::node(NodeId v) const {
   ARVY_EXPECTS(v < cores_.size());
   return cores_[v];
 }
 
-std::optional<NodeId> SimEngine::token_holder() const {
+ARVY_HOT std::optional<NodeId> SimEngine::token_holder() const {
   for (const ArvyCore& core : cores_) {
     if (core.holds_token()) return core.id();
   }
   return std::nullopt;
 }
 
-void SimEngine::mark_satisfied(RequestRecord& record) {
+ARVY_HOT void SimEngine::mark_satisfied(RequestRecord& record) {
   record.satisfied_at = bus_.now();
   record.satisfaction_index = ++satisfied_count_;
   if (satisfied_hook_) satisfied_hook_(record);

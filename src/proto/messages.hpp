@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -20,6 +21,12 @@ namespace arvy::proto {
 using graph::NodeId;
 using RequestId = std::uint64_t;
 
+// The documented exception to the message-POD discipline (lint `msgpod`):
+// the visited history is unbounded (one entry per hop, worst case the whole
+// graph), so the in-simulator type carries a vector. The flat wire encoding
+// (proto/wire.hpp) is the POD face of this message - a WireHeader plus a
+// trailing NodeId array - and is what roadmap item 2's transports move.
+// ARVY-LINT-ALLOW(msgpod): visited is unbounded; wire.hpp carries it flat
 struct FindMessage {
   // The node whose request this is ("find by v").
   NodeId producer = graph::kInvalidNode;
@@ -39,6 +46,15 @@ struct TokenMessage {
   // Monotone counter of token transfers, for tracing and sanity checks.
   std::uint64_t serial = 0;
 };
+
+// Message-POD discipline (lint `msgpod`): bus/transport message types stay
+// trivially copyable so the flat wire encoding can memcpy them. FindMessage
+// is the single annotated exception above; its POD face is wire::WireHeader.
+static_assert(std::is_trivially_copyable_v<TokenMessage>);
+static_assert(std::is_nothrow_move_constructible_v<FindMessage> &&
+                  std::is_nothrow_move_assignable_v<FindMessage>,
+              "FindMessage moves must stay cheap: the bus arena moves "
+              "payloads, never copies them");
 
 using Message = std::variant<FindMessage, TokenMessage>;
 

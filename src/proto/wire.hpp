@@ -1,0 +1,125 @@
+// Flat POD wire encoding for protocol messages.
+//
+// This is the prerequisite artifact for roadmap item 2 (zero-alloc MPSC
+// runtime path, socket transport): a message crosses a ring buffer or a
+// socket as one contiguous frame - a trivially copyable WireHeader followed
+// by `visited_count` raw NodeIds - so transports memcpy instead of chasing
+// a variant that owns a heap vector. The msgpod lint rule plus the
+// static_asserts below keep every struct in this header POD, which is what
+// makes the memcpy legal (and what the generated asserts in messages.hpp
+// protect on the rich side).
+//
+// Scope: in-memory/wire layout for same-architecture endpoints (the
+// multi-process socket transport targets one host). Fields are fixed-width
+// and the encoder writes the header by memcpy, so the only portability
+// caveat is endianness, deliberately out of scope until a cross-machine
+// transport exists.
+//
+// Round-trip contract (pinned by tests/test_wire.cpp):
+//   decode(encode(m)) reconstructs m exactly, for both alternatives of
+//   proto::Message, including the bridge flag and full visited history.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "proto/messages.hpp"
+#include "support/assert.hpp"
+
+namespace arvy::proto::wire {
+
+// Discriminates the frame payload; a byte so the header stays dense.
+enum class Kind : std::uint8_t { kFind = 0, kToken = 1 };
+
+// Flag bits (WireHeader::flags).
+inline constexpr std::uint8_t kFlagSenderEdgeWasBridge = 0x1;
+
+// The fixed-size frame prefix. A find frame is followed by visited_count
+// NodeIds (the visited history in hop order); a token frame by nothing.
+struct WireHeader {
+  std::uint8_t kind = 0;           // wire::Kind
+  std::uint8_t flags = 0;          // kFlag* bits; finds only
+  std::uint16_t visited_count = 0;  // trailing NodeIds; finds only
+  NodeId producer = graph::kInvalidNode;  // finds only
+  NodeId sender = graph::kInvalidNode;    // finds only
+  RequestId request = 0;                  // finds only
+  std::uint64_t token_serial = 0;         // tokens only
+};
+
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+static_assert(std::is_trivially_copyable_v<NodeId>);
+static_assert(sizeof(WireHeader) == 32,
+              "keep the frame prefix dense: two cache lines of visited "
+              "NodeIds fit a 160-byte frame");
+
+// Size in bytes of the encoded frame for `m`.
+[[nodiscard]] inline std::size_t encoded_size(const Message& m) {
+  if (const auto* find = std::get_if<FindMessage>(&m)) {
+    return sizeof(WireHeader) + find->visited.size() * sizeof(NodeId);
+  }
+  return sizeof(WireHeader);
+}
+
+// Appends the flat frame for `m` to `out`. Precondition: a find's visited
+// history fits the 16-bit count (65535 hops - orders of magnitude above any
+// graph this repo runs; the paper bounds visited by one entry per node).
+inline void encode(const Message& m, std::vector<std::byte>& out) {
+  WireHeader header;
+  std::span<const NodeId> trailer;
+  if (const auto* find = std::get_if<FindMessage>(&m)) {
+    ARVY_EXPECTS_MSG(find->visited.size() <= 0xffff,
+                     "visited history exceeds the wire count field");
+    header.kind = static_cast<std::uint8_t>(Kind::kFind);
+    if (find->sender_edge_was_bridge) header.flags |= kFlagSenderEdgeWasBridge;
+    header.visited_count = static_cast<std::uint16_t>(find->visited.size());
+    header.producer = find->producer;
+    header.sender = find->sender;
+    header.request = find->request;
+    trailer = find->visited;
+  } else {
+    header.kind = static_cast<std::uint8_t>(Kind::kToken);
+    header.token_serial = std::get<TokenMessage>(m).serial;
+  }
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(WireHeader) + trailer.size() * sizeof(NodeId));
+  std::memcpy(out.data() + at, &header, sizeof(WireHeader));
+  if (!trailer.empty()) {
+    std::memcpy(out.data() + at + sizeof(WireHeader), trailer.data(),
+                trailer.size() * sizeof(NodeId));
+  }
+}
+
+// Decodes one frame. Precondition: `frame` is exactly one encode() result.
+[[nodiscard]] inline Message decode(std::span<const std::byte> frame) {
+  ARVY_EXPECTS_MSG(frame.size() >= sizeof(WireHeader),
+                   "frame shorter than a wire header");
+  WireHeader header;
+  std::memcpy(&header, frame.data(), sizeof(WireHeader));
+  if (header.kind == static_cast<std::uint8_t>(Kind::kToken)) {
+    ARVY_EXPECTS(frame.size() == sizeof(WireHeader));
+    return TokenMessage{header.token_serial};
+  }
+  ARVY_EXPECTS(header.kind == static_cast<std::uint8_t>(Kind::kFind));
+  const std::size_t trailer_bytes =
+      static_cast<std::size_t>(header.visited_count) * sizeof(NodeId);
+  ARVY_EXPECTS_MSG(frame.size() == sizeof(WireHeader) + trailer_bytes,
+                   "frame length disagrees with the header's visited count");
+  FindMessage find;
+  find.producer = header.producer;
+  find.sender = header.sender;
+  find.request = header.request;
+  find.sender_edge_was_bridge =
+      (header.flags & kFlagSenderEdgeWasBridge) != 0;
+  find.visited.resize(static_cast<std::size_t>(header.visited_count));
+  if (trailer_bytes > 0) {
+    std::memcpy(find.visited.data(), frame.data() + sizeof(WireHeader),
+                trailer_bytes);
+  }
+  return find;
+}
+
+}  // namespace arvy::proto::wire

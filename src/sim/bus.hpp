@@ -36,6 +36,7 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +44,7 @@
 #include "sim/delivery.hpp"
 #include "sim/time.hpp"
 #include "support/assert.hpp"
+#include "support/hot.hpp"
 #include "support/rng.hpp"
 
 namespace arvy::sim {
@@ -56,6 +58,10 @@ struct SendVerdict {
   Time extra_delay = 0.0;        // added to the delivery delay (kTimed only)
   std::uint32_t duplicates = 0;  // extra copies sharing a dedup group
 };
+
+// Message-POD discipline (lint `msgpod`): the verdict crosses the send
+// seam by value on every filtered send.
+static_assert(std::is_trivially_copyable_v<SendVerdict>);
 
 template <typename Msg>
 class MessageBus {
@@ -72,6 +78,13 @@ class MessageBus {
     // primary copy. Only the first delivered copy of a group is handled.
     MessageId dup_group = 0;
   };
+
+  // A trivially copyable payload must keep the whole in-flight record
+  // trivially copyable - the contract roadmap item 2's flat wire frames
+  // (proto/wire.hpp) build on. Checked at instantiation, so a substrate
+  // with a POD message type cannot silently lose the property.
+  static_assert(std::is_trivially_copyable_v<InFlight> ||
+                !std::is_trivially_copyable_v<Msg>);
 
   // Called when a message is delivered.
   using Handler = std::function<void(const InFlight&)>;
@@ -244,7 +257,7 @@ class MessageBus {
   // kLifo/kRandom peek() still reports the *oldest* live message (the
   // earliest deliver_at), which step()'s pick may ignore.
   // Amortized O(1); the pointer is invalidated by the next send/delivery.
-  [[nodiscard]] const InFlight* peek() {
+  [[nodiscard]] ARVY_HOT const InFlight* peek() {
     if (live_count_ == 0) return nullptr;
     if (discipline_ == Discipline::kTimed) {
       return &slots_[heap_top_slot()].entry;
@@ -278,7 +291,7 @@ class MessageBus {
     bool live = false;
   };
 
-  MessageId pick_next() {
+  ARVY_HOT MessageId pick_next() {
     ARVY_ASSERT(live_count_ > 0);
     switch (discipline_) {
       case Discipline::kFifo:
@@ -371,7 +384,7 @@ class MessageBus {
   }
 
   // Slot index for a live message id, kNoSlot when unknown or delivered.
-  [[nodiscard]] std::uint32_t lookup(MessageId id) const {
+  [[nodiscard]] ARVY_HOT std::uint32_t lookup(MessageId id) const {
     if (id < window_base_id_) return kNoSlot;
     const auto w = static_cast<std::size_t>(id - window_base_id_);
     if (w >= window_.size()) return kNoSlot;
@@ -379,7 +392,7 @@ class MessageBus {
   }
 
   // Retires a message: frees its slot and clears its send-order position.
-  void release(MessageId id, std::uint32_t slot) {
+  ARVY_HOT void release(MessageId id, std::uint32_t slot) {
     const auto w = static_cast<std::size_t>(id - window_base_id_);
     window_[w] = kNoSlot;
     fenwick_add(w, false);
@@ -417,14 +430,14 @@ class MessageBus {
     }
   }
 
-  void fenwick_add(std::size_t pos, bool add) {
+  ARVY_HOT void fenwick_add(std::size_t pos, bool add) {
     for (std::size_t i = pos + 1; i <= fenwick_cap_; i += i & (~i + 1)) {
       fenwick_[i] += add ? 1u : ~0u;  // unsigned -1
     }
   }
 
   // Position in window_ of the (k+1)-th live entry; precondition k < live.
-  [[nodiscard]] std::size_t select_live(std::size_t k) const {
+  [[nodiscard]] ARVY_HOT std::size_t select_live(std::size_t k) const {
     std::size_t idx = 0;
     std::size_t remaining = k + 1;
     for (std::size_t step = fenwick_cap_; step > 0; step >>= 1) {
@@ -466,7 +479,7 @@ class MessageBus {
 
   // Heap top that is still in flight (entries for messages delivered via
   // deliver(id) are discarded lazily).
-  std::uint32_t heap_top_slot() {
+  ARVY_HOT std::uint32_t heap_top_slot() {
     while (true) {
       ARVY_ASSERT(!timed_heap_.empty());
       const std::uint32_t slot = lookup(timed_heap_.top().second);

@@ -1,0 +1,25 @@
+// ARVY_HOT: the hot-path discipline, as an annotation.
+//
+// Mark a function ARVY_HOT when it sits on a measured per-message or
+// per-event path (bus delivery picks, Fenwick descent, engine bookkeeping).
+// The annotation does two things:
+//
+//  1. To the compiler it expands to [[gnu::hot]], biasing layout and
+//     optimization toward the annotated function.
+//  2. To tools/arvy_lint (rule `hotpath`) it is a contract: the annotated
+//     definition must contain no allocation, locking, throwing, or logging
+//     constructs - lexically checked over parameters, init list, and body,
+//     nested lambdas included. Calls *out* of a hot function are not
+//     chased; annotate the callee too if it is on the same path.
+//
+// The macro exists so the discipline is greppable and machine-checked
+// rather than tribal: roadmap item 2 (zero-alloc MPSC runtime path) lands
+// by extending the set of ARVY_HOT functions, and the lint keeps each one
+// honest from the day it is annotated.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ARVY_HOT [[gnu::hot]]
+#else
+#define ARVY_HOT
+#endif

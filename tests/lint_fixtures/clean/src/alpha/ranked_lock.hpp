@@ -1,0 +1,15 @@
+// Allowlisted in [lock]: the one place raw std types may be named - the
+// fixture analogue of src/support/lock_rank.hpp.
+#pragma once
+#include <mutex>
+
+namespace fixture::alpha {
+class RankedMutex {
+ public:
+  void lock() { mutex_.lock(); }
+  void unlock() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;  // raw, but this file is allowlisted
+};
+}  // namespace fixture::alpha

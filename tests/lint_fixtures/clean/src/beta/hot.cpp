@@ -1,0 +1,31 @@
+// Passing hotpath + deprecation + layering cases: a clean ARVY_HOT body
+// (banned-construct names in comments and strings must NOT fire - "new",
+// "throw", std::mutex), a downward include, and an ALLOWed engine() call.
+#include "alpha/ranked_lock.hpp"
+#include "beta/messages.hpp"
+
+#define ARVY_HOT [[gnu::hot]]
+
+namespace fixture::beta {
+
+struct Engine {
+  int engine_state = 0;
+  // ARVY-LINT-ALLOW(deprecation): fixture's sanctioned escape-hatch use
+  int engine() const { return engine_state; }
+};
+
+// A hot accumulator: indexing and arithmetic only. The string below spells
+// banned construct names; the stripper must keep them from firing.
+ARVY_HOT int sum(const int* values, int count) {
+  const char* misleading = "new throw push_back std::mutex";
+  int total = misleading[0] == 'n' ? 0 : 1;
+  for (int i = 0; i < count; ++i) total += values[i];
+  return total;
+}
+
+int drive(const Engine& e) {
+  // ARVY-LINT-ALLOW(deprecation): fixture's sanctioned escape-hatch use
+  return e.engine();
+}
+
+}  // namespace fixture::beta

@@ -1,0 +1,21 @@
+// Passing msgpod case: the message struct carries its POD static_assert,
+// and the rich exception idiom is exercised through an ALLOW.
+#pragma once
+#include <type_traits>
+#include <vector>
+
+#include "alpha/ranked_lock.hpp"
+
+namespace fixture::beta {
+
+struct WireMsg {
+  int payload = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireMsg>);
+
+// ARVY-LINT-ALLOW(msgpod): rich sim-side type; WireMsg is its POD face
+struct RichMsg {
+  std::vector<int> history;
+};
+
+}  // namespace fixture::beta

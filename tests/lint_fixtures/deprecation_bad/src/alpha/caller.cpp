@@ -1,0 +1,14 @@
+// BAD: reaches for the deprecated engine() escape hatch without an ALLOW.
+namespace fixture::alpha {
+
+struct Directory {
+  int engine_state = 0;
+  // ARVY-LINT-ALLOW(deprecation): definition site
+  int engine() const { return engine_state; }
+};
+
+int peek(const Directory& d) {
+  return d.engine();  // un-ALLOWed call site: must trip the linter
+}
+
+}  // namespace fixture::alpha

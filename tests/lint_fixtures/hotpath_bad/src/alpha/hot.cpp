@@ -1,0 +1,20 @@
+// BAD: this ARVY_HOT body allocates, locks, throws, and logs.
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#define ARVY_HOT [[gnu::hot]]
+
+namespace fixture::alpha {
+
+std::mutex gate;
+
+ARVY_HOT int process(std::vector<int>& values, int next) {
+  std::lock_guard<std::mutex> hold(gate);
+  values.push_back(next);
+  if (next < 0) throw std::runtime_error("negative");
+  printf("processed %d\n", next);
+  return next;
+}
+
+}  // namespace fixture::alpha

@@ -1,0 +1,6 @@
+// BAD: alpha is the bottom layer yet reaches up into beta.
+#include "beta/api.hpp"
+
+namespace fixture::alpha {
+int base() { return fixture::beta::answer(); }
+}  // namespace fixture::alpha

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fixture::beta {
+inline int answer() { return 42; }
+}  // namespace fixture::beta

@@ -1,0 +1,10 @@
+// BAD: raw std synchronisation primitives outside the lock_rank layer.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture::alpha {
+struct Worker {
+  std::mutex mutex;                // should be RankedMutex
+  std::condition_variable ready;   // should go through lock_rank
+};
+}  // namespace fixture::alpha

@@ -1,0 +1,12 @@
+// BAD: a message struct in a [msgpod] header with no POD static_assert
+// and no ALLOW.
+#pragma once
+#include <string>
+
+namespace fixture::alpha {
+
+struct LooseMsg {
+  std::string label;  // silently non-trivial, and nobody asserted anything
+};
+
+}  // namespace fixture::alpha

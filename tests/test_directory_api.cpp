@@ -208,8 +208,10 @@ TEST(DirectoryDeprecated, EngineEscapeHatchStillWorksButWarns) {
   dir.acquire_and_wait(3);
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // ARVY-LINT-ALLOW(deprecation): the sanctioned escape-hatch pinning test
   proto::SimEngine& engine = dir.engine();
   const Directory& const_dir = dir;
+  // ARVY-LINT-ALLOW(deprecation): the sanctioned escape-hatch pinning test
   const proto::SimEngine& const_engine = const_dir.engine();
 #pragma GCC diagnostic pop
   EXPECT_EQ(&engine, &dir.inspect());

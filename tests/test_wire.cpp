@@ -1,0 +1,128 @@
+// Pins the flat POD wire encoding (proto/wire.hpp): decode(encode(m))
+// reconstructs m exactly for both Message alternatives, the header layout
+// stays dense and trivially copyable, and frames concatenate the way the
+// future ring-buffer transport will lay them out.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "proto/wire.hpp"
+
+namespace arvy::proto {
+namespace {
+
+using wire::WireHeader;
+
+// The whole point of the encoding: the prefix must stay memcpy-able POD
+// with a pinned size, or every transport assumption downstream breaks.
+static_assert(std::is_trivially_copyable_v<WireHeader>);
+static_assert(std::is_trivially_default_constructible_v<WireHeader> ||
+                  std::is_default_constructible_v<WireHeader>);
+static_assert(sizeof(WireHeader) == 32);
+
+FindMessage sample_find() {
+  FindMessage find;
+  find.producer = 7;
+  find.sender = 3;
+  find.visited = {7, 12, 5, 3};
+  find.sender_edge_was_bridge = true;
+  find.request = 0xfeed'f00d'dead'beefULL;
+  return find;
+}
+
+void expect_find_eq(const FindMessage& got, const FindMessage& want) {
+  EXPECT_EQ(got.producer, want.producer);
+  EXPECT_EQ(got.sender, want.sender);
+  EXPECT_EQ(got.visited, want.visited);
+  EXPECT_EQ(got.sender_edge_was_bridge, want.sender_edge_was_bridge);
+  EXPECT_EQ(got.request, want.request);
+}
+
+TEST(Wire, FindRoundTripsWithHistoryAndBridgeFlag) {
+  const Message original = sample_find();
+  std::vector<std::byte> frame;
+  wire::encode(original, frame);
+  ASSERT_EQ(frame.size(), wire::encoded_size(original));
+
+  const Message decoded = wire::decode(frame);
+  ASSERT_TRUE(is_find(decoded));
+  expect_find_eq(std::get<FindMessage>(decoded),
+                 std::get<FindMessage>(original));
+}
+
+TEST(Wire, FindWithEmptyHistoryIsHeaderOnly) {
+  FindMessage find;
+  find.producer = 1;
+  find.sender = 1;
+  find.request = 42;
+  const Message original = find;
+
+  std::vector<std::byte> frame;
+  wire::encode(original, frame);
+  EXPECT_EQ(frame.size(), sizeof(WireHeader));
+
+  const Message decoded = wire::decode(frame);
+  ASSERT_TRUE(is_find(decoded));
+  expect_find_eq(std::get<FindMessage>(decoded), find);
+  EXPECT_FALSE(std::get<FindMessage>(decoded).sender_edge_was_bridge);
+}
+
+TEST(Wire, TokenRoundTrips) {
+  const Message original = TokenMessage{987654321};
+  std::vector<std::byte> frame;
+  wire::encode(original, frame);
+  EXPECT_EQ(frame.size(), sizeof(WireHeader));
+  EXPECT_EQ(frame.size(), wire::encoded_size(original));
+
+  const Message decoded = wire::decode(frame);
+  ASSERT_TRUE(is_token(decoded));
+  EXPECT_EQ(std::get<TokenMessage>(decoded).serial, 987654321u);
+}
+
+TEST(Wire, EncodeAppendsSoFramesConcatenate) {
+  // Transports will pack frames back to back in one buffer; encode() must
+  // append, and each frame must decode independently via encoded_size.
+  const Message first = sample_find();
+  const Message second = TokenMessage{5};
+  std::vector<std::byte> buffer;
+  wire::encode(first, buffer);
+  const std::size_t split = buffer.size();
+  wire::encode(second, buffer);
+  ASSERT_EQ(buffer.size(),
+            wire::encoded_size(first) + wire::encoded_size(second));
+
+  const std::span<const std::byte> all(buffer);
+  const Message a = wire::decode(all.first(split));
+  const Message b = wire::decode(all.subspan(split));
+  ASSERT_TRUE(is_find(a));
+  ASSERT_TRUE(is_token(b));
+  expect_find_eq(std::get<FindMessage>(a), std::get<FindMessage>(first));
+  EXPECT_EQ(std::get<TokenMessage>(b).serial, 5u);
+}
+
+TEST(Wire, LongHistorySurvives) {
+  // One entry per node on a big graph - the realistic worst case the
+  // 16-bit count field must dwarf.
+  FindMessage find;
+  find.producer = 0;
+  find.visited.resize(4096);
+  std::iota(find.visited.begin(), find.visited.end(), NodeId{0});
+  find.sender = find.visited.back();
+  find.request = 1;
+  const Message original = find;
+
+  std::vector<std::byte> frame;
+  wire::encode(original, frame);
+  EXPECT_EQ(frame.size(), sizeof(WireHeader) + 4096 * sizeof(NodeId));
+
+  const Message decoded = wire::decode(frame);
+  ASSERT_TRUE(is_find(decoded));
+  expect_find_eq(std::get<FindMessage>(decoded), find);
+}
+
+}  // namespace
+}  // namespace arvy::proto
