@@ -3,11 +3,16 @@
 // protocol engine, and the threaded actor runtime.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+
 #include "graph/generators.hpp"
 #include "graph/spanning_tree.hpp"
+#include "proto/directory.hpp"
 #include "proto/engine.hpp"
 #include "proto/policies.hpp"
 #include "runtime/actor_system.hpp"
+#include "runtime/live_directory.hpp"
 #include "sim/bus.hpp"
 #include "workload/workload.hpp"
 
@@ -163,6 +168,65 @@ void BM_ConcurrentTimedArrivals(benchmark::State& state) {
                           static_cast<std::int64_t>(m));
 }
 BENCHMARK(BM_ConcurrentTimedArrivals)->Arg(128)->Arg(512);
+
+void BM_SimSatisfiedThroughput(benchmark::State& state) {
+  // The sim side of the sim-vs-live trend (BENCH_8.json): same scenario as
+  // fault_throughput's BM_SatisfiedThroughput at d=0 - 200 uniform
+  // sequential requests on a 64-node Ivy ring through the facade.
+  constexpr std::size_t kNodes = 64;
+  constexpr std::size_t kRequests = 200;
+  const auto g = graph::make_ring(kNodes);
+  support::Rng workload_rng(29);
+  const auto sequence =
+      workload::uniform_sequence(kNodes, kRequests, workload_rng);
+  std::uint64_t satisfied = 0;
+  for (auto _ : state) {
+    Directory dir(g, {.policy = proto::PolicyKind::kIvy, .seed = 7});
+    dir.run_sequential(sequence);
+    satisfied += dir.satisfied_count();
+    benchmark::DoNotOptimize(satisfied);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(satisfied));
+}
+BENCHMARK(BM_SimSatisfiedThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_LiveSatisfiedThroughput(benchmark::State& state) {
+  // The live side: satisfied/s through the threaded ring runtime on the
+  // same 64-node Ivy ring, swept over worker-pool size x drain batch size.
+  // Each iteration fires one volley of requests at 16 distinct nodes (the
+  // model's one-outstanding-per-node rule) and drains it; the directory -
+  // and its worker threads - live across iterations, so this measures
+  // steady-state message throughput, not thread construction.
+  constexpr std::size_t kNodes = 64;
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  const auto g = graph::make_ring(kNodes);
+  LiveOptions live;
+  live.workers = workers;
+  live.batch_size = batch;
+  LiveDirectory dir(g, {.policy = proto::PolicyKind::kIvy, .seed = 7}, live);
+  for (auto _ : state) {
+    for (NodeId v = 0; v < kNodes; v += 4) dir.acquire(v);
+    if (!dir.drain(std::chrono::milliseconds(60'000))) {
+      state.SkipWithError("liveness: volley did not drain");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(dir.satisfied_count()));
+  // BENCH_5 recorded num_cpus with no thread info; the sweep's whole point
+  // is the thread axis, so report it explicitly per run.
+  state.counters["worker_threads"] = static_cast<double>(workers);
+  state.counters["batch_size"] = static_cast<double>(batch);
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_LiveSatisfiedThroughput)
+    ->ArgsProduct({{1, 2, 4}, {1, 16, 64}})
+    ->ArgNames({"workers", "batch"})
+    // Wall clock, not CPU time: the work happens on the worker threads, and
+    // the sim-vs-live ratio must not flatter the side that burns more cores.
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ActorRuntimeRound(benchmark::State& state) {
   // End-to-end threaded handoff latency: one request per iteration on an

@@ -114,6 +114,117 @@ def fault_sweep_report(paths, out):
               f"goodput={kept:>7}")
 
 
+def parse_live_args(name):
+    """Extracts (workers, batch) from BM_LiveSatisfiedThroughput/workers:X/
+    batch:Y[/real_time]; returns None if the name has no such arguments."""
+    workers = batch = None
+    for part in name.split("/")[1:]:
+        key, sep, value = part.partition(":")
+        if sep and value.isdigit():
+            if key == "workers":
+                workers = int(value)
+            elif key == "batch":
+                batch = int(value)
+    if workers is None or batch is None:
+        return None
+    return workers, batch
+
+
+def runtime_sweep_report(paths, out, baseline, max_regress):
+    """Single-capture mode for the threaded-runtime throughput sweep.
+
+    Reads google-benchmark JSON from bench/runtime_throughput and writes the
+    workers x batch-size grid of live satisfied/s next to the sim baseline
+    (BM_SimSatisfiedThroughput): the headline is the best live/sim ratio.
+
+        ./build/bench/runtime_throughput \\
+            --benchmark_filter=SatisfiedThroughput \\
+            --benchmark_format=json > runtime.json
+        scripts/bench_report.py --runtime-sweep runtime.json --out BENCH_8.json
+
+    With --baseline <previous BENCH_8.json>, fails (exit 1) if the headline
+    live/sim ratio dropped by more than --max-regress. The ratio - not the
+    absolute satisfied/s - is compared because both sides of it come from the
+    same capture on the same machine, so CI hardware churn cancels out.
+    """
+    context, entries = load_side(paths)
+    sim_rate = None
+    grid = []
+    for name, bench in entries.items():
+        if name.startswith("BM_SimSatisfiedThroughput"):
+            sim_rate = bench.get("items_per_second")
+            continue
+        if not name.startswith("BM_LiveSatisfiedThroughput"):
+            continue
+        live_args = parse_live_args(name)
+        if live_args is None:
+            print(f"warning: skipping {name!r} (no workers:/batch: args)",
+                  file=sys.stderr)
+            continue
+        workers, batch = live_args
+        grid.append({
+            "workers": workers,
+            "batch": batch,
+            # Counter recorded by the bench itself; 0 means "one worker per
+            # node" was requested, so keep the resolved arg value instead.
+            "worker_threads": bench.get("worker_threads", workers),
+            "hw_threads": bench.get("hw_threads"),
+            "time_unit": bench.get("time_unit", "ns"),
+            "real_time": bench.get("real_time"),
+            "satisfied_per_second": bench.get("items_per_second"),
+        })
+    if sim_rate is None or not grid:
+        sys.exit("error: capture must contain BM_SimSatisfiedThroughput and "
+                 "at least one BM_LiveSatisfiedThroughput/workers:*/batch:* "
+                 "run (use --benchmark_filter=SatisfiedThroughput)")
+    grid.sort(key=lambda r: (r["workers"], r["batch"]))
+    for r in grid:
+        r["live_vs_sim"] = (round(r["satisfied_per_second"] / sim_rate, 3)
+                            if r["satisfied_per_second"] else None)
+
+    best = max(grid, key=lambda r: r["satisfied_per_second"] or 0.0)
+    report = {
+        "schema": "arvy-runtime-sweep/1",
+        "context": context_summary(context),
+        "sim": {
+            "benchmark": "BM_SimSatisfiedThroughput",
+            "satisfied_per_second": sim_rate,
+        },
+        "grid": grid,
+        "headline": {
+            "best_live_per_second": best["satisfied_per_second"],
+            "sim_per_second": sim_rate,
+            "live_vs_sim": best["live_vs_sim"],
+            "workers": best["workers"],
+            "batch": best["batch"],
+        },
+    }
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for r in grid:
+        print(f"workers={r['workers']}  batch={r['batch']:>2}  "
+              f"satisfied/s={r['satisfied_per_second']:>12.0f}  "
+              f"live/sim={r['live_vs_sim']:.3f}")
+    print(f"headline: live/sim = {best['live_vs_sim']:.3f} "
+          f"(workers={best['workers']}, batch={best['batch']})")
+
+    if baseline:
+        with open(baseline) as fh:
+            old = json.load(fh)
+        old_ratio = old.get("headline", {}).get("live_vs_sim")
+        new_ratio = best["live_vs_sim"]
+        if old_ratio is None or new_ratio is None:
+            sys.exit("error: baseline or capture lacks a live_vs_sim headline")
+        floor = old_ratio * (1.0 - max_regress)
+        verdict = "OK" if new_ratio >= floor else "REGRESSION"
+        print(f"baseline live/sim = {old_ratio:.3f}, floor = {floor:.3f} "
+              f"(max regress {max_regress:.0%}): {verdict}")
+        if new_ratio < floor:
+            sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--before", nargs="+",
@@ -124,13 +235,33 @@ def main():
                         help="google-benchmark JSON from bench/fault_throughput;"
                              " writes a drop-rate sweep report instead of a"
                              " before/after comparison")
+    parser.add_argument("--runtime-sweep", nargs="+", metavar="JSON",
+                        help="google-benchmark JSON from bench/runtime_throughput"
+                             " (filter SatisfiedThroughput); writes the workers x"
+                             " batch grid with the sim-vs-live ratio headline")
+    parser.add_argument("--baseline", metavar="BENCH_JSON",
+                        help="previous --runtime-sweep report; fail if the"
+                             " live/sim headline regressed past --max-regress")
+    parser.add_argument("--max-regress", type=float, default=0.2,
+                        help="allowed fractional drop in the live/sim headline"
+                             " vs --baseline (default 0.2)")
     parser.add_argument("--out", required=True, help="report path to write")
     args = parser.parse_args()
 
+    exclusive = [bool(args.fault_sweep), bool(args.runtime_sweep),
+                 bool(args.before or args.after)]
+    if sum(exclusive) > 1:
+        parser.error("--fault-sweep, --runtime-sweep and --before/--after are"
+                     " mutually exclusive")
+    if args.baseline and not args.runtime_sweep:
+        parser.error("--baseline requires --runtime-sweep")
+
     if args.fault_sweep:
-        if args.before or args.after:
-            parser.error("--fault-sweep is exclusive with --before/--after")
         fault_sweep_report(args.fault_sweep, args.out)
+        return
+    if args.runtime_sweep:
+        runtime_sweep_report(args.runtime_sweep, args.out,
+                             args.baseline, args.max_regress)
         return
     if not args.before or not args.after:
         parser.error("--before and --after are required without --fault-sweep")

@@ -29,11 +29,14 @@
 
 #include "proto/messages.hpp"
 #include "support/assert.hpp"
+#include "support/hot.hpp"
 
 namespace arvy::proto::wire {
 
 // Discriminates the frame payload; a byte so the header stays dense.
-enum class Kind : std::uint8_t { kFind = 0, kToken = 1 };
+// kRequest is runtime-only: an external submitter injecting "node, request
+// the token" into an actor's ring, with no protocol payload of its own.
+enum class Kind : std::uint8_t { kFind = 0, kToken = 1, kRequest = 2 };
 
 // Flag bits (WireHeader::flags).
 inline constexpr std::uint8_t kFlagSenderEdgeWasBridge = 0x1;
@@ -120,6 +123,132 @@ inline void encode(const Message& m, std::vector<std::byte>& out) {
                 trailer_bytes);
   }
   return find;
+}
+
+// ---------------------------------------------------------------------------
+// Ring envelopes: the runtime's in-slot frame format.
+//
+// A RingMailbox slot holds exactly one envelope: an EnvelopeHeader (the wire
+// frame prefix plus the fault layer's dedup id) followed by the find's
+// visited trailer, same layout as encode() above. The encode/decode pair
+// below is the raw-pointer, zero-alloc face of that format - it writes into
+// a preallocated slot and reads back a *view* whose visited span aliases the
+// slot bytes, so the actor-to-actor path never touches the heap. These
+// functions are ARVY_HOT: tools/arvy_lint rejects any allocation, lock,
+// throw, or log that sneaks into them.
+// ---------------------------------------------------------------------------
+
+// Slot frame prefix. dedup is the fault injector's duplicate-collapse id
+// (0 = not a tracked duplicate), carried out-of-band of the protocol frame.
+struct EnvelopeHeader {
+  std::uint64_t dedup = 0;
+  WireHeader frame;
+};
+
+static_assert(std::is_trivially_copyable_v<EnvelopeHeader>);
+static_assert(sizeof(EnvelopeHeader) == 40,
+              "dedup word plus the 32-byte wire frame prefix");
+
+// Decoded, non-owning read of one envelope. `visited` aliases the slot the
+// envelope was decoded from: valid only until the ring recycles that slot
+// (i.e. within the consumer's current batch).
+struct EnvelopeView {
+  Kind kind = Kind::kRequest;
+  std::uint64_t dedup = 0;
+  RequestId request = 0;       // kRequest, kFind
+  NodeId producer = graph::kInvalidNode;  // kFind
+  NodeId sender = graph::kInvalidNode;    // kFind
+  bool sender_edge_was_bridge = false;    // kFind
+  std::uint64_t token_serial = 0;         // kToken
+  std::span<const NodeId> visited;        // kFind
+};
+
+static_assert(std::is_trivially_copyable_v<EnvelopeView>);
+
+// Bytes one envelope occupies for a find with `visited_count` entries
+// (tokens and requests carry no trailer, so this is also the upper bound
+// used to size ring slots: envelope_bytes(max visited) = node count).
+[[nodiscard]] constexpr std::size_t envelope_bytes(
+    std::size_t visited_count) noexcept {
+  return sizeof(EnvelopeHeader) + visited_count * sizeof(NodeId);
+}
+
+// Writes the envelope for protocol message `m` into `out` (a ring slot of
+// at least envelope_bytes(m's visited size) bytes). Returns bytes written.
+ARVY_HOT inline std::size_t encode_envelope(const Message& m,
+                                            std::uint64_t dedup,
+                                            std::byte* out) {
+  EnvelopeHeader header;
+  header.dedup = dedup;
+  const NodeId* trailer = nullptr;
+  std::size_t trailer_count = 0;
+  if (const auto* find = std::get_if<FindMessage>(&m)) {
+    ARVY_EXPECTS_MSG(find->visited.size() <= 0xffff,
+                     "visited history exceeds the wire count field");
+    header.frame.kind = static_cast<std::uint8_t>(Kind::kFind);
+    if (find->sender_edge_was_bridge) {
+      header.frame.flags |= kFlagSenderEdgeWasBridge;
+    }
+    header.frame.visited_count =
+        static_cast<std::uint16_t>(find->visited.size());
+    header.frame.producer = find->producer;
+    header.frame.sender = find->sender;
+    header.frame.request = find->request;
+    trailer = find->visited.data();
+    trailer_count = find->visited.size();
+  } else {
+    header.frame.kind = static_cast<std::uint8_t>(Kind::kToken);
+    header.frame.token_serial = std::get<TokenMessage>(m).serial;
+  }
+  std::memcpy(out, &header, sizeof(EnvelopeHeader));
+  if (trailer_count > 0) {
+    std::memcpy(out + sizeof(EnvelopeHeader), trailer,
+                trailer_count * sizeof(NodeId));
+  }
+  return envelope_bytes(trailer_count);
+}
+
+// Writes a kRequest envelope ("this actor requests the token for `request`")
+// into `out`. Returns bytes written (always sizeof(EnvelopeHeader)).
+ARVY_HOT inline std::size_t encode_request_envelope(RequestId request,
+                                                    std::byte* out) {
+  EnvelopeHeader header;
+  header.frame.kind = static_cast<std::uint8_t>(Kind::kRequest);
+  header.frame.request = request;
+  std::memcpy(out, &header, sizeof(EnvelopeHeader));
+  return sizeof(EnvelopeHeader);
+}
+
+// Reads the envelope in `slot` without copying the trailer: the returned
+// view's visited span points into `slot` (slots are 8-byte aligned and the
+// 40-byte header keeps the trailer NodeId-aligned).
+ARVY_HOT [[nodiscard]] inline EnvelopeView decode_envelope(
+    const std::byte* slot) {
+  EnvelopeHeader header;
+  std::memcpy(&header, slot, sizeof(EnvelopeHeader));
+  EnvelopeView view;
+  view.dedup = header.dedup;
+  if (header.frame.kind == static_cast<std::uint8_t>(Kind::kToken)) {
+    view.kind = Kind::kToken;
+    view.token_serial = header.frame.token_serial;
+    return view;
+  }
+  if (header.frame.kind == static_cast<std::uint8_t>(Kind::kRequest)) {
+    view.kind = Kind::kRequest;
+    view.request = header.frame.request;
+    return view;
+  }
+  ARVY_EXPECTS(header.frame.kind == static_cast<std::uint8_t>(Kind::kFind));
+  view.kind = Kind::kFind;
+  view.request = header.frame.request;
+  view.producer = header.frame.producer;
+  view.sender = header.frame.sender;
+  view.sender_edge_was_bridge =
+      (header.frame.flags & kFlagSenderEdgeWasBridge) != 0;
+  view.visited = std::span<const NodeId>(
+      reinterpret_cast<const NodeId*>(slot + sizeof(EnvelopeHeader)),
+      static_cast<std::size_t>(header.frame.visited_count));
+  return view;
 }
 
 }  // namespace arvy::proto::wire

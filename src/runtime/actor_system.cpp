@@ -1,6 +1,19 @@
 #include "runtime/actor_system.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
+
+// TSan cannot model standalone fences (GCC diagnoses them under
+// -fsanitize=thread). The two seq_cst fences in this TU only order the
+// eventcount's flag checks against each other (the Dekker pairing in
+// run_worker/maybe_wake); every cross-thread *data* transfer synchronizes
+// through atomics TSan does track (the ring slot sequence words), and a
+// missed wakeup is bounded by the worker's 2 ms timed backstop. Ignoring
+// the fences therefore costs the analysis nothing.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__SANITIZE_THREAD__)
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
 
 namespace arvy::runtime {
 
@@ -10,19 +23,43 @@ ActorSystem::ActorSystem(const graph::Graph& g,
     : oracle_(g), options_(options) {
   ARVY_EXPECTS(init.node_count() == g.node_count());
   ARVY_EXPECTS(init.is_valid_tree());
+  ARVY_EXPECTS(g.node_count() >= 1);
+  ARVY_EXPECTS(options_.batch_size >= 1);
+  ARVY_EXPECTS(options_.ring_capacity >= 2);
   oracle_.prewarm_all();  // all threads read the oracle concurrently
 
+  // 0 = legacy thread-per-node shape; otherwise a fixed pool (never more
+  // workers than actors - extra workers would own empty partitions).
+  const std::size_t worker_count =
+      options_.workers == 0 ? g.node_count()
+                            : std::min(options_.workers, g.node_count());
+  workers_.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->shuffle.resize(options_.batch_size);
+    workers_.push_back(std::move(worker));
+  }
+
+  // Every slot must fit the largest legal envelope: a find whose visited
+  // history has one entry per node (the paper's bound).
+  const std::size_t slot_bytes = proto::wire::envelope_bytes(g.node_count());
   support::Rng seeder(options_.seed);
   actors_.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) {
     auto actor = std::make_unique<NodeActor>();
+    actor->id = v;
+    actor->owner = workers_[v % worker_count].get();
+    actor->owner->actors.push_back(v);
     actor->policy = policy.clone();
     actor->rng = std::make_unique<support::Rng>(seeder.split());
     actor->core = std::make_unique<proto::ArvyCore>(
         v, actor->policy.get(), &oracle_, actor->rng.get());
     actor->core->initialize(init.parent[v], v == init.root,
                             init.parent_edge_is_bridge[v]);
+    actor->ring.emplace(options_.ring_capacity, slot_bytes);
     actor->jitter_rng = seeder.split();
+    // Pre-size the decode scratch so the hot drain's assign() never grows it.
+    actor->scratch_find.visited.reserve(g.node_count());
     actors_.push_back(std::move(actor));
   }
   start_ = std::chrono::steady_clock::now();
@@ -33,8 +70,8 @@ ActorSystem::ActorSystem(const graph::Graph& g,
         options_.faults, options_.retry, /*record_events=*/false);
     nurse_ = std::thread([this] { run_nurse(); });
   }
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    actors_[v]->thread = std::thread([this, v] { run_node(v); });
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { run_worker(*w); });
   }
 }
 
@@ -47,10 +84,16 @@ proto::RequestId ActorSystem::request(NodeId v) {
   ARVY_EXPECTS_MSG(!is_shut_down(), "request after shutdown");
   const proto::RequestId id =
       next_request_.fetch_add(1, std::memory_order_acq_rel);
-  Envelope envelope;
-  envelope.kind = Envelope::Kind::kRequest;
-  envelope.request = id;
-  actors_[v]->mailbox.push(std::move(envelope));
+  NodeActor& actor = *actors_[v];
+  // Blocking push: a full ring is bounded-buffer backpressure on the
+  // submitter, not message loss. False only when the ring is closed, which
+  // here means request() raced shutdown - a caller contract violation, same
+  // as the old mailbox's push-after-close abort.
+  const bool pushed = actor.ring->push([id](std::byte* slot) {
+    (void)proto::wire::encode_request_envelope(id, slot);
+  });
+  ARVY_ASSERT_MSG(pushed, "request raced shutdown");
+  maybe_wake(*actor.owner);
   return id;
 }
 
@@ -69,24 +112,41 @@ bool ActorSystem::wait_for_satisfied_for(std::uint64_t count,
   });
 }
 
+// The accounting atomics are single-writer (the sending actor's owner
+// worker), and every write is sequenced before the ring publish of the
+// message it charges for; summing with acquire loads therefore sees at least
+// every charge whose message effects the reader has observed.
 double ActorSystem::total_cost() const {
-  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-  return find_cost_ + token_cost_;
+  double total = 0.0;
+  for (const auto& actor : actors_) {
+    total += actor->find_cost.load(std::memory_order_acquire) +
+             actor->token_cost.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 double ActorSystem::find_cost() const {
-  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-  return find_cost_;
+  double total = 0.0;
+  for (const auto& actor : actors_) {
+    total += actor->find_cost.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 std::uint64_t ActorSystem::find_messages() const {
-  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-  return find_messages_;
+  std::uint64_t total = 0;
+  for (const auto& actor : actors_) {
+    total += actor->find_messages.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 std::uint64_t ActorSystem::token_messages() const {
-  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-  return token_messages_;
+  std::uint64_t total = 0;
+  for (const auto& actor : actors_) {
+    total += actor->token_messages.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 faults::FaultStats ActorSystem::fault_stats() const {
@@ -97,15 +157,24 @@ faults::FaultStats ActorSystem::fault_stats() const {
 
 void ActorSystem::shutdown() {
   if (is_shut_down()) return;
-  // Order matters: the nurse pushes into mailboxes, so it must be stopped
-  // and joined before any mailbox closes (close-vs-push contract). Deferred
-  // items still pending are discarded - by the time callers shut down they
-  // have either waited for quiescence or accepted the loss.
+  // Order matters: the nurse pushes into rings, so it must be stopped and
+  // joined before any ring closes. Deferred items still pending are
+  // discarded - by the time callers shut down they have either waited for
+  // quiescence or accepted the loss.
   delayed_.close();
   if (nurse_.joinable()) nurse_.join();
-  for (auto& actor : actors_) actor->mailbox.close();
+  // Tell workers to exit once their partition runs dry, then close the
+  // channels. A worker drains everything already published before leaving;
+  // frames sent to an already-closed ring during a non-quiescent teardown
+  // are the documented accepted loss.
+  stopping_.store(true, std::memory_order_seq_cst);
   for (auto& actor : actors_) {
-    if (actor->thread.joinable()) actor->thread.join();
+    actor->ring->close();
+    actor->overflow.close();
+  }
+  for (auto& worker : workers_) wake_slow(*worker);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
   }
   // Publish only after every join: node() may rely on the joins'
   // happens-before edges the moment this flag reads true.
@@ -132,69 +201,236 @@ void ActorSystem::note_satisfied() {
   satisfied_cv_.notify_all();
 }
 
-void ActorSystem::run_node(NodeId v) {
-  NodeActor& actor = *actors_[v];
-  auto next = [&]() {
-    return options_.reorder_mailboxes ? actor.mailbox.pop_random(actor.jitter_rng)
-                                      : actor.mailbox.pop();
-  };
-  while (auto envelope = next()) {
-    if (envelope->dedup != 0 &&
-        !actor.handled_dups.insert(envelope->dedup).second) {
-      // A copy of a duplicated send whose group was already handled: the
-      // wire is at-least-once, the protocol core sees exactly-once.
+// --- worker loop -----------------------------------------------------------
+
+void ActorSystem::run_worker(Worker& worker) {
+  for (;;) {
+    bool did_work = false;
+    for (const NodeId v : worker.actors) {
+      did_work |= drain_actor(worker, *actors_[v]);
+    }
+    if (did_work) continue;
+
+    // Eventcount park. Announce intent with a seq_cst store, re-scan, and
+    // only then wait: a producer that published after the re-scan began
+    // observes kPreparing past its own seq_cst fence and takes the wake_slow
+    // path; a producer that published before is caught by the re-scan. The
+    // short timed wait is a belt-and-braces backstop, not a correctness
+    // requirement.
+    worker.phase.store(Worker::kPreparing, std::memory_order_seq_cst);
+    // Store-load fence: the re-scan's loads must not be satisfied from
+    // before the kPreparing store became visible (Dekker pairing with the
+    // producer's fence in maybe_wake).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (worker_has_work(worker)) {
+      worker.phase.store(Worker::kRunning, std::memory_order_relaxed);
       continue;
     }
-    proto::Effects effects;
-    if (envelope->kind == Envelope::Kind::kRequest) {
-      if (actor.core->holds_token()) {
-        // Trivially satisfied at the holder, as in the simulator.
-        note_satisfied();
-        continue;
-      }
-      effects = actor.core->request_token(envelope->request);
-    } else {
-      effects = actor.core->on_message(envelope->payload);
+    if (stopping_.load(std::memory_order_acquire)) {
+      worker.phase.store(Worker::kRunning, std::memory_order_relaxed);
+      return;  // partition drained and the system is stopping
     }
-    deliver_effects(v, std::move(effects), actor.jitter_rng);
+    {
+      std::unique_lock<support::RankedMutex> lock(worker.mutex);
+      if (worker.phase.load(std::memory_order_relaxed) == Worker::kPreparing &&
+          !stopping_.load(std::memory_order_acquire)) {
+        worker.cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+    }
+    worker.phase.store(Worker::kRunning, std::memory_order_relaxed);
   }
 }
 
-void ActorSystem::deliver_effects(NodeId from, proto::Effects&& effects,
-                                  support::Rng& jitter_rng) {
+bool ActorSystem::worker_has_work(const Worker& worker) const {
+  for (const NodeId v : worker.actors) {
+    const NodeActor& actor = *actors_[v];
+    if (actor.ring->has_ready() ||
+        actor.overflow_nonempty.load(std::memory_order_acquire)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ARVY_HOT bool ActorSystem::drain_actor(Worker& worker, NodeActor& actor) {
+  bool any = false;
+  if (actor.overflow_nonempty.load(std::memory_order_acquire)) {
+    // Clear before draining: a spill racing this drain re-sets the flag and
+    // is picked up on the next sweep at worst.
+    actor.overflow_nonempty.store(false, std::memory_order_relaxed);
+    drain_overflow(actor);
+    any = true;
+  }
+  const std::size_t batch = actor.ring->acquire_batch(options_.batch_size);
+  if (batch == 0) return any;
+  if (options_.reorder_mailboxes) {
+    // Fisher-Yates over the batch with the actor's own RNG: the threaded
+    // analogue of the simulator's kRandom discipline, now scoped to a batch
+    // (per-channel FIFO remains an accident, not a guarantee).
+    std::vector<std::uint32_t>& order = worker.shuffle;
+    for (std::size_t k = 0; k < batch; ++k) {
+      order[k] = static_cast<std::uint32_t>(k);
+    }
+    for (std::size_t k = batch; k > 1; --k) {
+      const std::size_t j =
+          static_cast<std::size_t>(actor.jitter_rng.next_below(k));
+      const std::uint32_t tmp = order[k - 1];
+      order[k - 1] = order[j];
+      order[j] = tmp;
+    }
+    for (std::size_t k = 0; k < batch; ++k) {
+      process_frame(actor, actor.ring->batch_slot(order[k]));
+    }
+  } else {
+    for (std::size_t k = 0; k < batch; ++k) {
+      process_frame(actor, actor.ring->batch_slot(k));
+    }
+  }
+  actor.ring->release_batch(batch);
+  return true;
+}
+
+ARVY_HOT void ActorSystem::process_frame(NodeActor& actor,
+                                         const std::byte* slot) {
+  const proto::wire::EnvelopeView view = proto::wire::decode_envelope(slot);
+  if (view.dedup != 0 && !first_arrival(actor, view.dedup)) {
+    // A copy of a duplicated send whose group was already handled: the
+    // wire is at-least-once, the protocol core sees exactly-once.
+    return;
+  }
+  proto::Effects effects;
+  switch (view.kind) {
+    case proto::wire::Kind::kRequest:
+      if (actor.core->holds_token()) {
+        // Trivially satisfied at the holder, as in the simulator.
+        note_satisfied();
+        return;
+      }
+      effects = actor.core->request_token(view.request);
+      break;
+    case proto::wire::Kind::kToken:
+      effects = actor.core->on_token(proto::TokenMessage{view.token_serial});
+      break;
+    case proto::wire::Kind::kFind: {
+      // Rehydrate into the preallocated scratch: assign() into reserved
+      // storage copies the span without touching the heap.
+      proto::FindMessage& find = actor.scratch_find;
+      ARVY_ASSERT(view.visited.size() <= find.visited.capacity());
+      find.producer = view.producer;
+      find.sender = view.sender;
+      find.request = view.request;
+      find.sender_edge_was_bridge = view.sender_edge_was_bridge;
+      find.visited.assign(view.visited.begin(), view.visited.end());
+      effects = actor.core->on_find(find);
+      break;
+    }
+  }
+  deliver_effects(actor, std::move(effects));
+}
+
+void ActorSystem::process_envelope(NodeActor& actor, Envelope& envelope) {
+  if (envelope.dedup != 0 && !first_arrival(actor, envelope.dedup)) return;
+  proto::Effects effects = actor.core->on_message(envelope.payload);
+  deliver_effects(actor, std::move(effects));
+}
+
+ARVY_HOT void ActorSystem::deliver_effects(NodeActor& from,
+                                           proto::Effects&& effects) {
   if (effects.satisfied.has_value()) note_satisfied();
   for (proto::Outgoing& out : effects.sends) {
     if (options_.max_jitter.count() > 0) {
       const auto jitter = std::chrono::microseconds(
-          jitter_rng.next_below(
+          from.jitter_rng.next_below(
               static_cast<std::uint64_t>(options_.max_jitter.count()) + 1));
       std::this_thread::sleep_for(jitter);
     }
-    const double distance = oracle_.distance(from, out.to);
-    {
-      std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-      if (proto::is_find(out.payload)) {
-        find_cost_ += distance;
-        ++find_messages_;
-      } else {
-        token_cost_ += distance;
-        ++token_messages_;
-      }
+    const double distance = oracle_.distance(from.id, out.to);
+    // Single-writer accounting (see total_cost): load+store is exact here.
+    if (proto::is_find(out.payload)) {
+      from.find_cost.store(
+          from.find_cost.load(std::memory_order_relaxed) + distance,
+          std::memory_order_relaxed);
+      from.find_messages.store(
+          from.find_messages.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+    } else {
+      from.token_cost.store(
+          from.token_cost.load(std::memory_order_relaxed) + distance,
+          std::memory_order_relaxed);
+      from.token_messages.store(
+          from.token_messages.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
     }
-    Envelope envelope;
-    envelope.kind = Envelope::Kind::kProtocol;
-    envelope.payload = std::move(out.payload);
-    envelope.from = from;
     if (injector_) {
+      Envelope envelope;
+      envelope.payload = std::move(out.payload);
+      envelope.from = from.id;
       send_with_faults(out.to, std::move(envelope), distance);
     } else {
-      // Actor-to-actor delivery may race a non-quiescent shutdown: once the
-      // peer's mailbox has closed, the message is part of the teardown's
-      // accepted loss, not a contract violation.
-      (void)actors_[out.to]->mailbox.try_push(std::move(envelope));
+      enqueue_protocol(out.to, out.payload, /*dedup=*/0);
     }
   }
 }
+
+ARVY_HOT void ActorSystem::enqueue_protocol(NodeId to,
+                                            const proto::Message& message,
+                                            std::uint64_t dedup) {
+  NodeActor& peer = *actors_[to];
+  const auto* find = std::get_if<proto::FindMessage>(&message);
+  ARVY_ASSERT(proto::wire::envelope_bytes(find ? find->visited.size() : 0) <=
+              peer.ring->slot_bytes());
+  const PushResult result = peer.ring->try_push([&](std::byte* slot) {
+    (void)proto::wire::encode_envelope(message, dedup, slot);
+  });
+  if (result == PushResult::kFull) {
+    // Never spin on a peer's full ring: this thread may be its drainer.
+    overflow_send(peer, message, dedup);
+    return;
+  }
+  if (result == PushResult::kOk) maybe_wake(*peer.owner);
+  // kClosed: delivery raced a non-quiescent shutdown - the message is part
+  // of the teardown's accepted loss, not a contract violation.
+}
+
+void ActorSystem::overflow_send(NodeActor& peer, const proto::Message& message,
+                                std::uint64_t dedup) {
+  Envelope envelope;
+  envelope.payload = message;  // boxed copy - cold path only
+  envelope.dedup = dedup;
+  if (!peer.overflow.try_push(std::move(envelope))) return;  // accepted loss
+  peer.overflow_nonempty.store(true, std::memory_order_seq_cst);
+  maybe_wake(*peer.owner);
+}
+
+ARVY_HOT void ActorSystem::maybe_wake(Worker& worker) {
+  // Publish-then-check side of the eventcount: the fence orders this
+  // thread's frame publish before the phase read, pairing with the
+  // consumer's seq_cst kPreparing store before its re-scan.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (worker.phase.load(std::memory_order_relaxed) != Worker::kRunning) {
+    wake_slow(worker);
+  }
+}
+
+void ActorSystem::wake_slow(Worker& worker) {
+  {
+    std::lock_guard<support::RankedMutex> lock(worker.mutex);
+    worker.phase.store(Worker::kNotified, std::memory_order_relaxed);
+  }
+  worker.cv.notify_one();
+}
+
+bool ActorSystem::first_arrival(NodeActor& actor, std::uint64_t dedup) {
+  return actor.handled_dups.insert(dedup).second;
+}
+
+void ActorSystem::drain_overflow(NodeActor& actor) {
+  while (auto envelope = actor.overflow.try_pop()) {
+    process_envelope(actor, *envelope);
+  }
+}
+
+// --- fault path (cold) ------------------------------------------------------
 
 double ActorSystem::fault_now() const {
   const auto elapsed = std::chrono::steady_clock::now() - start_;
@@ -225,7 +461,7 @@ void ActorSystem::send_with_faults(NodeId to, Envelope&& envelope,
           options_.fault_time_unit);
   const auto now = std::chrono::steady_clock::now();
   // Duplicate copies are staggered by the link's transit time so they arrive
-  // as genuine reorder hazards, not back-to-back mailbox neighbours.
+  // as genuine reorder hazards, not back-to-back ring neighbours.
   for (std::uint32_t i = 0; i < verdict.duplicates; ++i) {
     const auto stagger = unit * (i + 1.0) * std::max(distance, 1.0);
     delayed_.push(
@@ -241,16 +477,16 @@ void ActorSystem::send_with_faults(NodeId to, Envelope&& envelope,
     delayed_.push(Deferred{to, std::move(envelope)}, now + defer);
     return;
   }
-  (void)actors_[to]->mailbox.try_push(std::move(envelope));
+  enqueue_protocol(to, envelope.payload, envelope.dedup);
 }
 
 void ActorSystem::run_nurse() {
   // Single consumer of the delayed queue: re-drives deferred envelopes into
-  // their target mailbox once due. The queue closes strictly before the
-  // mailboxes do (see shutdown), so a plain push would already be safe;
-  // try_push keeps the nurse correct even if that ordering ever changes.
+  // their target ring once due. The queue closes strictly before the rings
+  // do (see shutdown), and enqueue_protocol tolerates a closed ring anyway.
   while (auto deferred = delayed_.pop_due()) {
-    (void)actors_[deferred->to]->mailbox.try_push(std::move(deferred->envelope));
+    enqueue_protocol(deferred->to, deferred->envelope.payload,
+                     deferred->envelope.dedup);
   }
 }
 

@@ -1,26 +1,50 @@
 // A threaded actor runtime for the Arvy protocol family.
 //
-// One std::thread per node, each owning an ArvyCore and a Mailbox. This is
-// the "real asynchrony" counterpart of the discrete-event engine: message
-// interleavings come from the OS scheduler (optionally roughened with random
-// sender-side jitter), so experiment E13 exercises the paper's model outside
-// the simulator with the exact same protocol core.
+// A pool of worker threads, each owning a partition of the node actors. Every
+// actor has a bounded MPSC RingMailbox of wire-encoded envelopes
+// (proto/wire.hpp), and a worker drains its actors in batches: one wakeup
+// consumes every ready slot, so the futex/CV handoff of the old
+// one-thread-per-node design is amortized across a whole batch instead of
+// paid per message. This is the "real asynchrony" counterpart of the
+// discrete-event engine: interleavings come from the OS scheduler (optionally
+// roughened with random sender-side jitter and in-batch shuffling), with the
+// exact same protocol core.
+//
+// Hot path (all ARVY_HOT, checked by arvy_lint: no alloc/lock/throw/log):
+//   enqueue: encode_envelope into a claimed ring slot (one CAS) + a fenced
+//   wake check; drain: acquire_batch -> decode_envelope views -> core
+//   dispatch -> deliver_effects -> release_batch. The only allocations left
+//   per message are inside ArvyCore itself (visited copies), shared with the
+//   sim transport. Cold paths stay conventional: a full ring overflows into
+//   the actor's old Mailbox (the overflow valve - a worker must never block
+//   on a ring it drains itself), and the fault nurse re-drives deferred
+//   deliveries the same way.
 //
 // Threading contract (checked under ThreadSanitizer by the tier-1 suite):
-//  - each core is touched only by its node's thread;
+//  - each core is touched only by the worker that owns its actor; with
+//    workers == node_count this degenerates to the old thread-per-node model
+//    (the default), with workers == 1 the runtime is sequential and
+//    deterministic for a fixed submission order;
 //  - the policy object is cloned per node; cores also get per-node RNGs;
 //  - the distance oracle is prewarmed before threads start and then only read;
-//  - cost accounting goes through one mutex-protected block (stats_mutex_);
+//  - cost accounting is per-actor single-writer atomics (the owner worker of
+//    the SENDING actor writes; readers sum). The writes are sequenced before
+//    the ring publish of the message they charge for, so any observer that
+//    saw the message's consequences sees the charge;
 //  - the satisfied counter is atomic so satisfied_count() is wait-free, but
 //    every increment happens while holding stats_mutex_ followed by a CV
 //    notify: the increment cannot interleave between a waiter's predicate
 //    check and its wait, so wakeups are never lost;
+//  - worker parking is an eventcount: a producer publishes its frame, issues
+//    a seq_cst fence, and reads the consumer's phase word; the consumer
+//    announces kPreparing with a seq_cst store, rescans its rings, and only
+//    then parks (with a short timed backstop). One side always observes the
+//    other, so no wakeup is lost without any lock on the publish path;
 //  - request/wait_for_satisfied/satisfied_count may be called from any
-//    thread; shutdown() must not race with request() (close-vs-push is a
-//    contract violation in the mailbox) and node() is legal only after
-//    shutdown() has returned;
+//    thread; shutdown() must not race with request() (push-after-close
+//    aborts) and node() is legal only after shutdown() has returned;
 //  - all mutexes are rank-checked (support/lock_rank.hpp): stats < faults <
-//    delayed-queue < mailbox is the only legal nesting order.
+//    delayed-queue < worker < mailbox is the only legal nesting order.
 //
 // Fault injection (Options::faults): the same faults::FaultInjector the
 // simulator uses, serialized behind its own mutex, decides each send's fate.
@@ -29,8 +53,8 @@
 // units scale to wall time via Options::fault_time_unit. Duplicate copies
 // carry a dedup id and are discarded by the receiving actor if the group was
 // already handled (at-least-once wire, exactly-once protocol core).
-// Shutdown closes and joins the nurse BEFORE closing mailboxes, so deferred
-// items never hit a closed mailbox; items still pending in the delayed
+// Shutdown closes and joins the nurse BEFORE closing rings, so deferred
+// items never hit a closed ring; items still pending in the delayed
 // queue at shutdown are discarded.
 #pragma once
 
@@ -39,6 +63,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -50,8 +75,10 @@
 #include "proto/core.hpp"
 #include "proto/init.hpp"
 #include "proto/policies.hpp"
+#include "proto/wire.hpp"
 #include "runtime/delayed_queue.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/ring_mailbox.hpp"
 #include "support/lock_rank.hpp"
 
 namespace arvy::runtime {
@@ -62,9 +89,19 @@ struct ActorOptions {
   std::uint64_t seed = 1;
   // Random sleep in [0, max_jitter] before each message send; 0 disables.
   std::chrono::microseconds max_jitter{0};
-  // Consume mailbox items in random order instead of FIFO: full asynchrony
-  // (the paper never assumes channel ordering).
+  // Process each drained batch in random order instead of arrival order:
+  // full asynchrony (the paper never assumes channel ordering).
   bool reorder_mailboxes = false;
+  // Worker threads the actors are partitioned across (round-robin).
+  // 0 = one worker per node (the legacy thread-per-node shape, maximal
+  // scheduler interleaving); 1 = sequential+deterministic; a small fixed
+  // pool is the throughput configuration on real hardware.
+  std::size_t workers = 0;
+  // Max ring slots drained per actor visit; amortizes the wakeup handoff.
+  std::size_t batch_size = 16;
+  // Ring slots per actor (rounded up to a power of two). Bounded on purpose:
+  // overflow spills to the cold Mailbox valve, never blocks a worker.
+  std::size_t ring_capacity = 256;
   // Declarative fault schedule; empty = strict no-op (no injector, no nurse
   // thread, the send path is exactly the fault-free one).
   faults::FaultPlan faults;
@@ -86,9 +123,10 @@ class ActorSystem {
   ActorSystem(const ActorSystem&) = delete;
   ActorSystem& operator=(const ActorSystem&) = delete;
 
-  // Injects a token request at node v (processed on v's thread). The caller
-  // must respect the model's rule: do not request at a node whose previous
-  // request is still outstanding. Returns the request id.
+  // Injects a token request at node v (processed on v's owner worker). The
+  // caller must respect the model's rule: do not request at a node whose
+  // previous request is still outstanding. Returns the request id. Applies
+  // bounded-buffer backpressure (blocks while v's ring is full).
   proto::RequestId request(NodeId v);
 
   // Blocks until at least `count` requests (cumulative) are satisfied.
@@ -109,6 +147,9 @@ class ActorSystem {
   [[nodiscard]] std::size_t node_count() const noexcept {
     return actors_.size();
   }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
 
   // Total distance-weighted traffic so far (find + token).
   [[nodiscard]] double total_cost() const;
@@ -120,8 +161,8 @@ class ActorSystem {
   // were declared). Callable from any thread.
   [[nodiscard]] faults::FaultStats fault_stats() const;
 
-  // Stops all node threads. Callers should wait_for_satisfied first so the
-  // network is quiescent; pending mailbox items are still drained.
+  // Stops all worker threads. Callers should wait_for_satisfied first so the
+  // network is quiescent; pending ring/overflow items are still drained.
   void shutdown();
 
   // Post-shutdown inspection (threads joined, single-threaded again).
@@ -131,10 +172,10 @@ class ActorSystem {
   }
 
  private:
+  // Boxed message format of the COLD paths only (overflow valve, delayed
+  // queue). The hot paths carry flat wire envelopes inside ring slots.
   struct Envelope {
-    enum class Kind { kRequest, kProtocol } kind = Kind::kProtocol;
-    proto::RequestId request = 0;   // kRequest
-    proto::Message payload;         // kProtocol
+    proto::Message payload;
     NodeId from = graph::kInvalidNode;
     // Non-zero when this envelope belongs to a duplicated send: copies share
     // the id and the receiving actor handles only the first to arrive.
@@ -146,21 +187,72 @@ class ActorSystem {
     Envelope envelope;
   };
 
+  // One drain-side thread. Parking is an eventcount (see file comment);
+  // the mutex/CV pair is only the slow path of wake().
+  struct Worker {
+    enum Phase : std::uint32_t { kRunning = 0, kPreparing = 1, kNotified = 2 };
+
+    std::vector<NodeId> actors;  // owned partition, round-robin by id
+    std::thread thread;
+    std::atomic<std::uint32_t> phase{kRunning};
+    support::RankedMutex mutex{support::lock_rank::kWorker, "worker-park"};
+    std::condition_variable_any cv;
+    std::vector<std::uint32_t> shuffle;  // reorder_mailboxes batch scratch
+  };
+
   struct NodeActor {
+    NodeId id = graph::kInvalidNode;
+    Worker* owner = nullptr;
     std::unique_ptr<proto::NewParentPolicy> policy;
     std::unique_ptr<support::Rng> rng;
     std::unique_ptr<proto::ArvyCore> core;
-    Mailbox<Envelope> mailbox;
-    std::thread thread;
+    // Hot channel: bounded ring of flat wire envelopes.
+    std::optional<RingMailbox> ring;
+    // Cold overflow valve: a worker that finds a peer's ring full must not
+    // spin (it might BE that ring's drainer), so the frame falls back to the
+    // old boxed mailbox, flagged here and drained before the next batch.
+    Mailbox<Envelope> overflow;
+    std::atomic<bool> overflow_nonempty{false};
     support::Rng jitter_rng{0};
-    // Dedup groups already handled; touched only by this node's thread.
+    // Reused decode target for find frames: visited is reserved to the node
+    // count up front, so the hot drain's assign() never reallocates.
+    proto::FindMessage scratch_find;
+    // Dedup groups already handled; touched only by the owner worker.
     std::unordered_set<std::uint64_t> handled_dups;
+    // Cost accounting for messages SENT by this actor. Single writer (the
+    // owner worker), so load+store with relaxed ordering is exact; readers
+    // sum across actors. Padded apart by the surrounding unique_ptr graph.
+    std::atomic<double> find_cost{0.0};
+    std::atomic<double> token_cost{0.0};
+    std::atomic<std::uint64_t> find_messages{0};
+    std::atomic<std::uint64_t> token_messages{0};
   };
 
-  void run_node(NodeId v);
+  void run_worker(Worker& worker);
   void run_nurse();
-  void deliver_effects(NodeId from, proto::Effects&& effects,
-                       support::Rng& jitter_rng);
+  // Drains up to batch_size ready ring slots (plus any overflow spill) of
+  // one actor. Returns whether anything was processed.
+  bool drain_actor(Worker& worker, NodeActor& actor);
+  // Decodes and dispatches one ring frame on the owner worker.
+  void process_frame(NodeActor& actor, const std::byte* slot);
+  // Cold twin of process_frame for boxed overflow envelopes.
+  void process_envelope(NodeActor& actor, Envelope& envelope);
+  void deliver_effects(NodeActor& from, proto::Effects&& effects);
+  // Hot enqueue of a protocol message into `to`'s ring; spills to the
+  // overflow valve when full, drops (accepted loss) when closed.
+  void enqueue_protocol(NodeId to, const proto::Message& message,
+                        std::uint64_t dedup);
+  // Cold overflow spill + slow wake, out of line so enqueue stays hot-clean.
+  void overflow_send(NodeActor& peer, const proto::Message& message,
+                     std::uint64_t dedup);
+  // Eventcount wake: fence + phase check inline, locking slow path only if
+  // the owner is parked or preparing to park.
+  void maybe_wake(Worker& worker);
+  void wake_slow(Worker& worker);
+  [[nodiscard]] bool worker_has_work(const Worker& worker) const;
+  // First-arrival check for a duplicated send's dedup group (cold).
+  [[nodiscard]] bool first_arrival(NodeActor& actor, std::uint64_t dedup);
+  void drain_overflow(NodeActor& actor);
   // Routes one envelope through the fault injector (which must be active):
   // drops it, defers it, and/or fans out duplicate copies.
   void send_with_faults(NodeId to, Envelope&& envelope, double distance);
@@ -174,16 +266,13 @@ class ActorSystem {
   graph::DistanceOracle oracle_;
   Options options_;
   std::vector<std::unique_ptr<NodeActor>> actors_;
+  std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<std::uint64_t> next_request_{1};
   std::atomic<std::uint64_t> satisfied_{0};
   mutable support::RankedMutex stats_mutex_{support::lock_rank::kStats,
                                             "actor-stats"};
   std::condition_variable_any satisfied_cv_;
-  double find_cost_ = 0.0;   // guarded by stats_mutex_
-  double token_cost_ = 0.0;  // guarded by stats_mutex_
-  std::uint64_t find_messages_ = 0;   // guarded by stats_mutex_
-  std::uint64_t token_messages_ = 0;  // guarded by stats_mutex_
 
   // Fault machinery; all null/idle when options.faults is empty.
   std::unique_ptr<faults::FaultInjector> injector_;  // guarded by faults_mutex_
@@ -194,8 +283,11 @@ class ActorSystem {
   std::atomic<std::uint64_t> next_dedup_{1};
   std::chrono::steady_clock::time_point start_;
 
-  // False until shutdown() has joined every node thread; the join provides
-  // the happens-before edge that makes post-shutdown core inspection safe.
+  // Set (before rings close) to tell workers to exit once their partition
+  // has no remaining work; workers drain everything already published first.
+  std::atomic<bool> stopping_{false};
+  // False until shutdown() has joined every worker; the join provides the
+  // happens-before edge that makes post-shutdown core inspection safe.
   std::atomic<bool> shut_down_{false};
 };
 

@@ -12,6 +12,9 @@ LiveDirectory::LiveDirectory(const graph::Graph& g, DirectoryOptions options,
   actor_options.seed = options.seed;
   actor_options.max_jitter = live.max_jitter;
   actor_options.reorder_mailboxes = live.reorder_mailboxes;
+  actor_options.workers = live.workers;
+  actor_options.batch_size = live.batch_size;
+  actor_options.ring_capacity = live.ring_capacity;
   actor_options.faults = options.faults;
   actor_options.retry = options.retry;
   actor_options.fault_time_unit = live.fault_time_unit;

@@ -2,9 +2,11 @@
 //
 // Same contract as the simulator-backed arvy::Directory - submit requests,
 // drain, snapshot costs and fault stats - but execution is real OS
-// asynchrony: one thread per node, mailbox channels, wall-clock fault
-// windows. Code written against AnyDirectory runs on either transport; the
-// fault-matrix tests run the identical scenario list on both.
+// asynchrony: a worker pool batch-draining per-node MPSC ring mailboxes of
+// wire-encoded envelopes (LiveOptions picks the pool and batch sizes),
+// wall-clock fault windows. Code written against AnyDirectory runs on
+// either transport; the fault-matrix tests run the identical scenario list
+// on both.
 //
 //   arvy::LiveDirectory dir(g, {.policy = arvy::proto::PolicyKind::kIvy,
 //                               .faults = {.drop_find = 0.1},
@@ -30,8 +32,17 @@ namespace arvy {
 struct LiveOptions {
   // Random sender-side sleep in [0, max_jitter] per message; 0 disables.
   std::chrono::microseconds max_jitter{0};
-  // Consume mailboxes in random order (full asynchrony).
+  // Consume each drained ring batch in random order (full asynchrony).
   bool reorder_mailboxes = false;
+  // Worker threads the node actors are partitioned across. 0 = one worker
+  // per node (legacy thread-per-node, maximal interleaving); 1 = sequential
+  // and deterministic for a fixed submission order; a small fixed pool is
+  // the throughput configuration.
+  std::size_t workers = 0;
+  // Max ring slots drained per actor visit (amortizes the wakeup handoff).
+  std::size_t batch_size = 16;
+  // Ring slots per actor's mailbox (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
   // Wall-time length of one sim-time unit for the fault schedule.
   std::chrono::microseconds fault_time_unit{200};
 };

@@ -80,6 +80,17 @@ class Mailbox {
     return item;
   }
 
+  // Non-blocking pop: nullopt when the box is currently empty (closed or
+  // not). Used by the ring runtime's workers to drain the cold overflow
+  // valve without parking on the mailbox CV.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::lock_guard<support::RankedMutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    return item;
+  }
+
   // Like pop, but takes a uniformly random queued item instead of the
   // oldest: per-channel FIFO is an accident of the transport, not a protocol
   // assumption, and this consumes messages in adversarially shuffled order

@@ -1,0 +1,207 @@
+// A bounded MPSC ring buffer of fixed-stride byte slots: the zero-alloc
+// mailbox of the threaded runtime (roadmap item 2).
+//
+// The old Mailbox paid a mutex + condition variable + std::deque node per
+// message; this ring pays one CAS and two cache-line touches. Messages cross
+// it as flat wire-encoded frames (proto/wire.hpp), written in place by the
+// producer and read in place by the consumer, so the actor-to-actor path
+// performs no allocation at all - the slab is sized once at construction.
+//
+// Design (Vyukov bounded-queue tickets, specialized to one consumer):
+//  - every slot carries a sequence number; slot i is writable for ticket t
+//    when seq == t, readable when seq == t + 1, and recycled by the consumer
+//    to seq = t + capacity for the next lap;
+//  - producers claim a ticket with a CAS on tail_ (the CAS, not a blind
+//    fetch_add, is what lets try_push report kFull without stranding a
+//    ticket the consumer would wait on forever);
+//  - the single consumer drains in BATCHES: acquire_batch scans forward from
+//    head over published slots, the caller processes them in place, and
+//    release_batch recycles the whole run - one head advance amortized over
+//    the batch instead of a CV handshake per message.
+//
+// Memory-order contract (the slot lifecycle, checked under TSan by
+// tests/test_concurrency_stress.cpp):
+//
+//    producer                                consumer
+//    --------                                --------
+//    s = seq[t].load(acquire)   // writable?
+//    CAS tail_: t -> t+1 (relaxed)
+//    ...write payload bytes...
+//    seq[t].store(t+1, release) ----------→  seq[h].load(acquire) == h+1
+//                                            ...read payload bytes...
+//                               ←----------  seq[h].store(h+cap, release)
+//    (next-lap producer's acquire load of seq pairs with that store, so the
+//    consumer's reads finish before the slot is overwritten)
+//
+// The release/acquire pair on the slot's sequence word is the only
+// synchronization the payload needs; head_ and tail_ use relaxed ordering
+// because neither is ever used to justify reading payload bytes.
+//
+// Close protocol (preserves the old Mailbox's shutdown contract):
+//  - close() is sticky; after it, try_push/push return kClosed/false and the
+//    frame is NOT enqueued;
+//  - the consumer keeps draining published slots after close (close drains,
+//    then stops) - a producer that won its CAS before observing close
+//    completes its write and the frame is either drained or is part of the
+//    documented accepted loss of a non-quiescent shutdown;
+//  - push (blocking, for external submitters) spins with yield on a full
+//    ring - bounded-buffer backpressure - and fails only on close.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/hot.hpp"
+
+namespace arvy::runtime {
+
+enum class PushResult : std::uint8_t { kOk = 0, kFull = 1, kClosed = 2 };
+
+class RingMailbox {
+ public:
+  // `capacity` is rounded up to a power of two; `slot_bytes` is the fixed
+  // frame budget per message (callers size it so the largest legal wire
+  // envelope fits - see wire::envelope_bytes). The slab is the only
+  // allocation this class ever performs.
+  RingMailbox(std::size_t capacity, std::size_t slot_bytes)
+      : slot_stride_((slot_bytes + 7) & ~std::size_t{7}) {
+    ARVY_EXPECTS(capacity >= 2);
+    ARVY_EXPECTS(slot_bytes > 0);
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    capacity_ = cap;
+    mask_ = cap - 1;
+    seq_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      seq_[i].store(i, std::memory_order_relaxed);
+    }
+    slab_ = std::make_unique<std::byte[]>(cap * slot_stride_);
+  }
+
+  RingMailbox(const RingMailbox&) = delete;
+  RingMailbox& operator=(const RingMailbox&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t slot_bytes() const noexcept { return slot_stride_; }
+
+  // Non-blocking multi-producer enqueue. Claims a slot, invokes
+  // fill(slot_pointer) to write at most slot_bytes() bytes, publishes.
+  // kFull when the ring has no free slot (the caller applies its own
+  // backpressure or overflow policy), kClosed after close().
+  template <typename Fill>
+  ARVY_HOT PushResult try_push(Fill&& fill) {
+    if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      std::atomic<std::uint64_t>& seq = seq_[pos & mask_];
+      const std::uint64_t s = seq.load(std::memory_order_acquire);
+      const auto diff =
+          static_cast<std::int64_t>(s) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          fill(slab_.get() + (pos & mask_) * slot_stride_);
+          seq.store(pos + 1, std::memory_order_release);
+          return PushResult::kOk;
+        }
+        // CAS failure reloaded pos; retry against the new tail.
+      } else if (diff < 0) {
+        return PushResult::kFull;  // a full lap behind: no free slot
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Blocking enqueue for external submitters: spins (with yield) on a full
+  // ring until space frees up - bounded-buffer backpressure - and returns
+  // false only when the ring is closed. Losing a user's request silently is
+  // a bug, so callers assert on the return value.
+  template <typename Fill>
+  ARVY_HOT [[nodiscard]] bool push(Fill&& fill) {
+    for (std::uint32_t spins = 0;; ++spins) {
+      const PushResult r = try_push(fill);
+      if (r == PushResult::kOk) return true;
+      if (r == PushResult::kClosed) return false;
+      if (spins >= kSpinsBeforeYield) std::this_thread::yield();
+    }
+  }
+
+  // --- single-consumer batch interface --------------------------------------
+
+  // True when at least one published frame is ready (callable from any
+  // thread as a hint; exact only for the consumer).
+  [[nodiscard]] ARVY_HOT bool has_ready() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return seq_[head & mask_].load(std::memory_order_acquire) == head + 1;
+  }
+
+  // Scans forward from head over published slots and returns the run length
+  // (<= max). The slots stay claimed - read them with batch_slot - until
+  // release_batch recycles the whole run. Consumer-only.
+  [[nodiscard]] ARVY_HOT std::size_t acquire_batch(std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::size_t n = 0;
+    while (n < max &&
+           seq_[(head + n) & mask_].load(std::memory_order_acquire) ==
+               head + n + 1) {
+      ++n;
+    }
+    return n;
+  }
+
+  // Frame bytes of the k-th slot of the batch acquired above. Consumer-only.
+  [[nodiscard]] ARVY_HOT const std::byte* batch_slot(std::size_t k) const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return slab_.get() + ((head + k) & mask_) * slot_stride_;
+  }
+
+  // Recycles the first `n` slots of the acquired batch for the producers'
+  // next lap and advances head. Consumer-only.
+  ARVY_HOT void release_batch(std::size_t n) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    for (std::size_t k = 0; k < n; ++k) {
+      seq_[(head + k) & mask_].store(head + k + capacity_,
+                                     std::memory_order_release);
+    }
+    head_.store(head + n, std::memory_order_release);
+  }
+
+  // Sticky. Producers observe kClosed/false; the consumer drains whatever
+  // was published, then sees an empty ring. Wakeups are the owner's job
+  // (the runtime parks workers, not rings).
+  void close() { closed_.store(true, std::memory_order_seq_cst); }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  // Claimed-but-not-yet-consumed frame count; approximate under concurrency
+  // (test/diagnostic use only).
+  [[nodiscard]] std::size_t approx_size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinsBeforeYield = 64;
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t slot_stride_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> seq_;
+  std::unique_ptr<std::byte[]> slab_;
+
+  // Producers and consumer on separate cache lines; head_ is atomic only so
+  // approx_size/has_ready may peek from other threads.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace arvy::runtime

@@ -1,0 +1,30 @@
+// BAD: a ring-mailbox enqueue that boxes every message on the heap. The
+// real RingMailbox::try_push writes the wire frame into a preallocated
+// slab; this fixture pins that the hotpath rule rejects the allocating
+// version (new + vector growth) if anyone "simplifies" it back.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#define ARVY_HOT [[gnu::hot]]
+
+namespace fixture::alpha {
+
+struct Frame {
+  std::uint64_t dedup;
+  std::vector<std::uint32_t> visited;
+};
+
+struct BoxedRing {
+  std::vector<Frame*> slots;
+  std::size_t tail = 0;
+};
+
+ARVY_HOT bool try_push(BoxedRing& ring, std::uint64_t dedup) {
+  Frame* boxed = new Frame{dedup, {}};
+  ring.slots.push_back(boxed);
+  ++ring.tail;
+  return true;
+}
+
+}  // namespace fixture::alpha

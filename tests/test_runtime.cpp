@@ -4,10 +4,13 @@
 
 #include <chrono>
 #include <set>
+#include <tuple>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "proto/policies.hpp"
 #include "runtime/actor_system.hpp"
+#include "runtime/live_directory.hpp"
 #include "runtime/mailbox.hpp"
 #include "support/rng.hpp"
 
@@ -184,6 +187,81 @@ TEST(ActorSystem, ReorderedMailboxesStayCorrect) {
     holders += system.node(v).holds_token() ? 1u : 0u;
   }
   EXPECT_EQ(holders, 1u);
+}
+
+TEST(ActorSystem, WorkerPoolConfigsStayCorrect) {
+  // The ring runtime's knobs must not change outcomes, only schedules:
+  // sweep worker-pool sizes against batch sizes, including batch 1 (no
+  // amortization) and a deliberately tiny ring that forces the overflow
+  // valve open under the storm.
+  const auto g = graph::make_ring(10);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  support::Rng rng(17);
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{64}}) {
+      runtime::ActorOptions options;
+      options.seed = 41 + workers;
+      options.workers = workers;
+      options.batch_size = batch;
+      options.ring_capacity = 4;  // tiny on purpose: exercise kFull spills
+      runtime::ActorSystem system(g, proto::ring_bridge_config(10), *policy,
+                                  options);
+      EXPECT_EQ(system.worker_count(), workers);
+      std::uint64_t expected = 0;
+      for (int round = 0; round < 4; ++round) {
+        std::set<NodeId> requesters;
+        while (requesters.size() < 4) {
+          requesters.insert(static_cast<NodeId>(rng.next_below(10)));
+        }
+        for (NodeId v : requesters) system.request(v);
+        expected += requesters.size();
+        ASSERT_TRUE(system.wait_for_satisfied_for(expected, kWait))
+            << "workers=" << workers << " batch=" << batch;
+      }
+      system.shutdown();
+      EXPECT_EQ(system.satisfied_count(), expected);
+      std::size_t holders = 0;
+      for (NodeId v = 0; v < 10; ++v) {
+        holders += system.node(v).holds_token() ? 1u : 0u;
+      }
+      EXPECT_EQ(holders, 1u) << "workers=" << workers << " batch=" << batch;
+    }
+  }
+}
+
+TEST(LiveDirectory, SingleWorkerModeIsDeterministic) {
+  // Reorder-semantics guard: with one worker, no jitter and a sequential
+  // submission pattern, the threaded runtime has exactly one schedule. Two
+  // identical runs must agree on every observable - final tree, costs,
+  // message counts - so an accidental change to drain order or batch
+  // semantics shows up as a diff here, not as a flaky stress test.
+  const auto run_once = [] {
+    const auto g = graph::make_ring(12);
+    DirectoryOptions options;
+    options.policy = proto::PolicyKind::kIvy;
+    options.seed = 7;
+    LiveOptions live;
+    live.workers = 1;
+    LiveDirectory dir(g, options, live);
+    support::Rng rng(13);
+    for (int i = 0; i < 30; ++i) {
+      dir.acquire_and_wait(static_cast<NodeId>(rng.next_below(12)));
+    }
+    dir.shutdown();
+    std::vector<NodeId> parents;
+    for (NodeId v = 0; v < 12; ++v) parents.push_back(dir.node(v).parent());
+    return std::make_tuple(parents, dir.cost_snapshot(),
+                           dir.satisfied_count());
+  };
+  const auto [parents_a, costs_a, satisfied_a] = run_once();
+  const auto [parents_b, costs_b, satisfied_b] = run_once();
+  EXPECT_EQ(parents_a, parents_b);
+  EXPECT_EQ(satisfied_a, satisfied_b);
+  EXPECT_DOUBLE_EQ(costs_a.find_distance, costs_b.find_distance);
+  EXPECT_DOUBLE_EQ(costs_a.token_distance, costs_b.token_distance);
+  EXPECT_EQ(costs_a.find_messages, costs_b.find_messages);
+  EXPECT_EQ(costs_a.token_messages, costs_b.token_messages);
 }
 
 TEST(ActorSystemDeath, InspectingLiveCoresAborts) {

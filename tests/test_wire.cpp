@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <algorithm>
 #include <numeric>
 #include <span>
 #include <type_traits>
@@ -122,6 +123,66 @@ TEST(Wire, LongHistorySurvives) {
   const Message decoded = wire::decode(frame);
   ASSERT_TRUE(is_find(decoded));
   expect_find_eq(std::get<FindMessage>(decoded), find);
+}
+
+// --- ring envelopes ---------------------------------------------------------
+
+static_assert(std::is_trivially_copyable_v<wire::EnvelopeHeader>);
+static_assert(sizeof(wire::EnvelopeHeader) == 40);
+static_assert(std::is_trivially_copyable_v<wire::EnvelopeView>);
+
+TEST(WireEnvelope, FindRoundTripsThroughASlot) {
+  const FindMessage find = sample_find();
+  const Message original = find;
+  // An aligned "ring slot" sized exactly by envelope_bytes, as the runtime
+  // sizes its slabs.
+  alignas(8) std::byte slot[wire::envelope_bytes(8)] = {};
+  const std::size_t written =
+      wire::encode_envelope(original, /*dedup=*/0x1234, slot);
+  EXPECT_EQ(written, wire::envelope_bytes(find.visited.size()));
+
+  const wire::EnvelopeView view = wire::decode_envelope(slot);
+  EXPECT_EQ(view.kind, wire::Kind::kFind);
+  EXPECT_EQ(view.dedup, 0x1234u);
+  EXPECT_EQ(view.producer, find.producer);
+  EXPECT_EQ(view.sender, find.sender);
+  EXPECT_EQ(view.request, find.request);
+  EXPECT_TRUE(view.sender_edge_was_bridge);
+  ASSERT_EQ(view.visited.size(), find.visited.size());
+  // The view aliases the slot: same values, zero copies.
+  EXPECT_TRUE(std::equal(view.visited.begin(), view.visited.end(),
+                         find.visited.begin()));
+}
+
+TEST(WireEnvelope, TokenRoundTripsThroughASlot) {
+  const Message original = TokenMessage{77};
+  alignas(8) std::byte slot[wire::envelope_bytes(0)] = {};
+  EXPECT_EQ(wire::encode_envelope(original, /*dedup=*/0, slot),
+            sizeof(wire::EnvelopeHeader));
+  const wire::EnvelopeView view = wire::decode_envelope(slot);
+  EXPECT_EQ(view.kind, wire::Kind::kToken);
+  EXPECT_EQ(view.dedup, 0u);
+  EXPECT_EQ(view.token_serial, 77u);
+  EXPECT_TRUE(view.visited.empty());
+}
+
+TEST(WireEnvelope, RequestKindCarriesOnlyTheId) {
+  alignas(8) std::byte slot[wire::envelope_bytes(0)] = {};
+  EXPECT_EQ(wire::encode_request_envelope(0xabcdef01u, slot),
+            sizeof(wire::EnvelopeHeader));
+  const wire::EnvelopeView view = wire::decode_envelope(slot);
+  EXPECT_EQ(view.kind, wire::Kind::kRequest);
+  EXPECT_EQ(view.request, 0xabcdef01u);
+  EXPECT_EQ(view.dedup, 0u);
+  EXPECT_TRUE(view.visited.empty());
+}
+
+TEST(WireEnvelope, SlotBudgetMatchesTheBoxedEncoding) {
+  // The two encodings must agree on the frame layout: the envelope is the
+  // boxed wire frame plus the 8-byte dedup word, nothing else.
+  const Message m = sample_find();
+  EXPECT_EQ(wire::envelope_bytes(sample_find().visited.size()),
+            wire::encoded_size(m) + sizeof(std::uint64_t));
 }
 
 }  // namespace
