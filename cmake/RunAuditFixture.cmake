@@ -1,0 +1,42 @@
+# Test driver for the object-level audit fixtures (tools/CMakeLists.txt).
+#
+# Compiles every src/*.cpp of the fixture with the flag contract the audit
+# documents (-O2 -ffunction-sections, see support/hot.hpp), then points
+# `arvy_lint --audit-objects` at the result. The lint's stdout/exit code
+# propagate to ctest, where PASS_REGULAR_EXPRESSION pins the bad fixture
+# to its rule id.
+#
+# Expects: CXX (compiler), FIXTURE (fixture root), OBJDIR (scratch build
+# tree), LINT (arvy_lint binary).
+
+foreach(var CXX FIXTURE OBJDIR LINT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "RunAuditFixture.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${OBJDIR}")
+file(MAKE_DIRECTORY "${OBJDIR}/src")
+
+file(GLOB sources "${FIXTURE}/src/*.cpp")
+if(NOT sources)
+  message(FATAL_ERROR "no fixture sources under ${FIXTURE}/src")
+endif()
+
+foreach(src IN LISTS sources)
+  get_filename_component(stem "${src}" NAME_WE)
+  execute_process(
+    COMMAND "${CXX}" -std=c++20 -O2 -ffunction-sections -c "${src}"
+            -o "${OBJDIR}/src/${stem}.o"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "failed to compile fixture source ${src}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${LINT}" --root "${FIXTURE}" --rule audit --audit-objects "${OBJDIR}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "arvy_lint --audit-objects exited ${rc}")
+endif()

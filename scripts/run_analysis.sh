@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Static analysis entry point:
 #   1. tools/arvy_lint (project-specific rules: layering, lock, hotpath,
-#      msgpod, deprecation) over the whole tree - always runs; it only
-#      needs the C++ toolchain the repo already requires.
-#   2. clang-tidy (curated .clang-tidy check set) over every translation
+#      msgpod, deprecation, atomic) over the whole tree - always runs; it
+#      only needs the C++ toolchain the repo already requires.
+#   2. The object-level hot-path audit (arvy_lint --audit-objects): builds
+#      the src/ libraries in the same tree (RelWithDebInfo default, so
+#      ARVY_HOT produces .text.hot.* sections) and walks the relocation
+#      call graph - skipped gracefully when objdump is absent.
+#   3. clang-tidy (curated .clang-tidy check set) over every translation
 #      unit in src/ - skipped gracefully when the tool is absent.
 #
 # Usage:
-#   scripts/run_analysis.sh              # arvy_lint + clang-tidy (if present)
-#   ARVY_ANALYSIS_STRICT=1 scripts/run_analysis.sh   # missing tidy = failure (CI)
+#   scripts/run_analysis.sh              # all three (tools permitting)
+#   ARVY_ANALYSIS_STRICT=1 scripts/run_analysis.sh   # missing tool = failure (CI)
 #   CLANG_TIDY=clang-tidy-18 scripts/run_analysis.sh # pick a specific binary
 #   BUILD_DIR=build scripts/run_analysis.sh          # reuse a configured tree
 #   ARVY_LINT_STATS=lint.json scripts/run_analysis.sh  # emit the JSON report
@@ -37,6 +41,27 @@ if [ -n "${ARVY_LINT_STATS:-}" ]; then
   lint_args+=(--stats-json "$ARVY_LINT_STATS")
 fi
 "$BUILD_DIR/tools/arvy_lint" "${lint_args[@]}"
+
+# Object audit: needs binutils objdump and compiled src/ objects. The
+# build-tidy tree defaults to RelWithDebInfo, which satisfies the audit's
+# optimization contract (hot sections only exist in optimized objects).
+if command -v objdump >/dev/null 2>&1; then
+  echo "run_analysis: building src/ libraries for the object audit ..."
+  cmake --build "$BUILD_DIR" --target \
+    arvy_support arvy_graph arvy_sim arvy_faults arvy_proto arvy_runtime \
+    arvy_verify arvy_explore_lib arvy_analysis arvy_workload \
+    arvy_hier arvy_raymond >/dev/null
+  echo "run_analysis: auditing hot objects ..."
+  "$BUILD_DIR/tools/arvy_lint" --root . --rule audit \
+    --audit-objects "$BUILD_DIR"
+else
+  echo "run_analysis: objdump not found."
+  if [ "$STRICT" = "1" ]; then
+    echo "run_analysis: ARVY_ANALYSIS_STRICT=1 -> failing." >&2
+    exit 1
+  fi
+  echo "run_analysis: skipping the object audit (set ARVY_ANALYSIS_STRICT=1 to make this fatal)."
+fi
 
 if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
   echo "run_analysis: '$CLANG_TIDY' not found."

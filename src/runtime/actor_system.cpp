@@ -82,8 +82,12 @@ ActorSystem::~ActorSystem() {
 proto::RequestId ActorSystem::request(NodeId v) {
   ARVY_EXPECTS(v < actors_.size());
   ARVY_EXPECTS_MSG(!is_shut_down(), "request after shutdown");
+  // Relaxed id allocation: the increment only needs to be atomic, not
+  // ordered - the request id travels to the worker inside the ring frame,
+  // and the slot's release/acquire publish orders everything the worker
+  // reads. (Was acq_rel, which ordered nothing anyone relied on.)
   const proto::RequestId id =
-      next_request_.fetch_add(1, std::memory_order_acq_rel);
+      next_request_.fetch_add(1, std::memory_order_relaxed);
   NodeActor& actor = *actors_[v];
   // Blocking push: a full ring is bounded-buffer backpressure on the
   // submitter, not message loss. False only when the ring is closed, which
@@ -97,10 +101,14 @@ proto::RequestId ActorSystem::request(NodeId v) {
   return id;
 }
 
+// The CV predicates read satisfied_ relaxed: both the predicate and the
+// increment in note_satisfied run under stats_mutex_, so the mutex already
+// provides every ordering the protocol needs - an acquire here would be
+// decoration (see the threading contract in the header).
 void ActorSystem::wait_for_satisfied(std::uint64_t count) {
   std::unique_lock<support::RankedMutex> lock(stats_mutex_);
   satisfied_cv_.wait(lock, [this, count] {
-    return satisfied_.load(std::memory_order_acquire) >= count;
+    return satisfied_.load(std::memory_order_relaxed) >= count;
   });
 }
 
@@ -108,19 +116,23 @@ bool ActorSystem::wait_for_satisfied_for(std::uint64_t count,
                                          std::chrono::milliseconds timeout) {
   std::unique_lock<support::RankedMutex> lock(stats_mutex_);
   return satisfied_cv_.wait_for(lock, timeout, [this, count] {
-    return satisfied_.load(std::memory_order_acquire) >= count;
+    return satisfied_.load(std::memory_order_relaxed) >= count;
   });
 }
 
 // The accounting atomics are single-writer (the sending actor's owner
-// worker), and every write is sequenced before the ring publish of the
-// message it charges for; summing with acquire loads therefore sees at least
-// every charge whose message effects the reader has observed.
+// worker), so each relaxed load reads an exact committed value; the sum is
+// a consistent total only once the system is quiescent. Readers who need
+// the final numbers already have a happens-before edge that covers every
+// charge: wait_for_satisfied's stats_mutex_ handoff, or the thread joins
+// behind shut_down_. The previous acquire loads suggested a pairing with a
+// release store that does not exist (the writes are relaxed) - they bought
+// nothing and were downgraded in the PR-9 ordering audit.
 double ActorSystem::total_cost() const {
   double total = 0.0;
   for (const auto& actor : actors_) {
-    total += actor->find_cost.load(std::memory_order_acquire) +
-             actor->token_cost.load(std::memory_order_acquire);
+    total += actor->find_cost.load(std::memory_order_relaxed) +
+             actor->token_cost.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -128,7 +140,7 @@ double ActorSystem::total_cost() const {
 double ActorSystem::find_cost() const {
   double total = 0.0;
   for (const auto& actor : actors_) {
-    total += actor->find_cost.load(std::memory_order_acquire);
+    total += actor->find_cost.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -136,7 +148,7 @@ double ActorSystem::find_cost() const {
 std::uint64_t ActorSystem::find_messages() const {
   std::uint64_t total = 0;
   for (const auto& actor : actors_) {
-    total += actor->find_messages.load(std::memory_order_acquire);
+    total += actor->find_messages.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -144,7 +156,7 @@ std::uint64_t ActorSystem::find_messages() const {
 std::uint64_t ActorSystem::token_messages() const {
   std::uint64_t total = 0;
   for (const auto& actor : actors_) {
-    total += actor->token_messages.load(std::memory_order_acquire);
+    total += actor->token_messages.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -166,8 +178,11 @@ void ActorSystem::shutdown() {
   // Tell workers to exit once their partition runs dry, then close the
   // channels. A worker drains everything already published before leaving;
   // frames sent to an already-closed ring during a non-quiescent teardown
-  // are the documented accepted loss.
-  stopping_.store(true, std::memory_order_seq_cst);
+  // are the documented accepted loss. Release (not seq_cst: the flag takes
+  // no part in the Dekker pairing) - a parked worker observes the store
+  // through wake_slow's mutex handoff below, a running one through its
+  // next park attempt or the 2 ms timed backstop.
+  stopping_.store(true, std::memory_order_release);
   for (auto& actor : actors_) {
     actor->ring->close();
     actor->overflow.close();
@@ -196,7 +211,10 @@ void ActorSystem::note_satisfied() {
     // is parked (notify_all wakes it). Incrementing outside the lock could
     // land between the two and the notification would be lost.
     std::lock_guard<support::RankedMutex> lock(stats_mutex_);
-    satisfied_.fetch_add(1, std::memory_order_acq_rel);
+    // Relaxed: stats_mutex_ orders this against the CV predicates and
+    // satisfied_count is a monotone peek (was acq_rel - the RMW never
+    // published anything beyond the counter itself).
+    satisfied_.fetch_add(1, std::memory_order_relaxed);
   }
   satisfied_cv_.notify_all();
 }
@@ -313,7 +331,11 @@ ARVY_HOT void ActorSystem::process_frame(NodeActor& actor,
       break;
     case proto::wire::Kind::kFind: {
       // Rehydrate into the preallocated scratch: assign() into reserved
-      // storage copies the span without touching the heap.
+      // storage copies the span without touching the heap. The vector's
+      // grow-and-throw branch is still statically present in the object
+      // code (the compiler cannot prove the capacity invariant), so the
+      // binary audit carries a declared allow edge for exactly this call
+      // site - see [audit] allow in docs/layers.toml.
       proto::FindMessage& find = actor.scratch_find;
       ARVY_ASSERT(view.visited.size() <= find.visited.capacity());
       find.producer = view.producer;
@@ -398,7 +420,11 @@ void ActorSystem::overflow_send(NodeActor& peer, const proto::Message& message,
   envelope.payload = message;  // boxed copy - cold path only
   envelope.dedup = dedup;
   if (!peer.overflow.try_push(std::move(envelope))) return;  // accepted loss
-  peer.overflow_nonempty.store(true, std::memory_order_seq_cst);
+  // Release is enough (was seq_cst): maybe_wake's seq_cst fence right after
+  // this store is the producer half of the Dekker pairing, so either the
+  // parking worker's post-fence rescan sees the flag or this thread sees
+  // kPreparing and takes wake_slow - same argument as the ring publish.
+  peer.overflow_nonempty.store(true, std::memory_order_release);
   maybe_wake(*peer.owner);
 }
 

@@ -79,6 +79,7 @@
 #include "runtime/delayed_queue.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/ring_mailbox.hpp"
+#include "support/hot.hpp"
 #include "support/lock_rank.hpp"
 
 namespace arvy::runtime {
@@ -138,11 +139,14 @@ class ActorSystem {
   [[nodiscard]] bool wait_for_satisfied_for(std::uint64_t count,
                                             std::chrono::milliseconds timeout);
 
+  // Monotone counter peeks: relaxed is the whole contract - the value is
+  // exact-at-some-moment, and callers who need an ordered view already hold
+  // stats_mutex_ (the CV waits) or observed shut_down_ (the joins).
   [[nodiscard]] std::uint64_t satisfied_count() const noexcept {
-    return satisfied_.load(std::memory_order_acquire);
+    return satisfied_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t submitted_count() const noexcept {
-    return next_request_.load(std::memory_order_acquire) - 1;
+    return next_request_.load(std::memory_order_relaxed) - 1;
   }
   [[nodiscard]] std::size_t node_count() const noexcept {
     return actors_.size();
@@ -194,7 +198,10 @@ class ActorSystem {
 
     std::vector<NodeId> actors;  // owned partition, round-robin by id
     std::thread thread;
-    std::atomic<std::uint32_t> phase{kRunning};
+    // The eventcount word: all ordering comes from the two seq_cst Dekker
+    // fences (run_worker / maybe_wake), so the accesses themselves stay
+    // relaxed except the kPreparing announcement (see actor_system.cpp).
+    std::atomic<std::uint32_t> phase{kRunning};  // ARVY-ATOMIC(eventcount)
     support::RankedMutex mutex{support::lock_rank::kWorker, "worker-park"};
     std::condition_variable_any cv;
     std::vector<std::uint32_t> shuffle;  // reorder_mailboxes batch scratch
@@ -212,7 +219,7 @@ class ActorSystem {
     // spin (it might BE that ring's drainer), so the frame falls back to the
     // old boxed mailbox, flagged here and drained before the next batch.
     Mailbox<Envelope> overflow;
-    std::atomic<bool> overflow_nonempty{false};
+    std::atomic<bool> overflow_nonempty{false};  // ARVY-ATOMIC(flag)
     support::Rng jitter_rng{0};
     // Reused decode target for find frames: visited is reserved to the node
     // count up front, so the hot drain's assign() never reallocates.
@@ -222,10 +229,10 @@ class ActorSystem {
     // Cost accounting for messages SENT by this actor. Single writer (the
     // owner worker), so load+store with relaxed ordering is exact; readers
     // sum across actors. Padded apart by the surrounding unique_ptr graph.
-    std::atomic<double> find_cost{0.0};
-    std::atomic<double> token_cost{0.0};
-    std::atomic<std::uint64_t> find_messages{0};
-    std::atomic<std::uint64_t> token_messages{0};
+    std::atomic<double> find_cost{0.0};           // ARVY-ATOMIC(single-writer)
+    std::atomic<double> token_cost{0.0};          // ARVY-ATOMIC(single-writer)
+    std::atomic<std::uint64_t> find_messages{0};  // ARVY-ATOMIC(single-writer)
+    std::atomic<std::uint64_t> token_messages{0};  // ARVY-ATOMIC(single-writer)
   };
 
   void run_worker(Worker& worker);
@@ -243,33 +250,39 @@ class ActorSystem {
   void enqueue_protocol(NodeId to, const proto::Message& message,
                         std::uint64_t dedup);
   // Cold overflow spill + slow wake, out of line so enqueue stays hot-clean.
-  void overflow_send(NodeActor& peer, const proto::Message& message,
-                     std::uint64_t dedup);
+  // ARVY_COLD keeps these (and the std:: machinery they drag in) out of the
+  // callers' .text.hot sections, so the binary audit sees the hot/cold
+  // boundary exactly where the design puts it (see support/hot.hpp).
+  ARVY_COLD void overflow_send(NodeActor& peer, const proto::Message& message,
+                               std::uint64_t dedup);
   // Eventcount wake: fence + phase check inline, locking slow path only if
   // the owner is parked or preparing to park.
   void maybe_wake(Worker& worker);
-  void wake_slow(Worker& worker);
+  ARVY_COLD void wake_slow(Worker& worker);
   [[nodiscard]] bool worker_has_work(const Worker& worker) const;
-  // First-arrival check for a duplicated send's dedup group (cold).
-  [[nodiscard]] bool first_arrival(NodeActor& actor, std::uint64_t dedup);
-  void drain_overflow(NodeActor& actor);
+  // First-arrival check for a duplicated send's dedup group (cold: the
+  // hash-table insert may rehash, i.e. allocate).
+  ARVY_COLD [[nodiscard]] bool first_arrival(NodeActor& actor,
+                                             std::uint64_t dedup);
+  ARVY_COLD void drain_overflow(NodeActor& actor);
   // Routes one envelope through the fault injector (which must be active):
   // drops it, defers it, and/or fans out duplicate copies.
-  void send_with_faults(NodeId to, Envelope&& envelope, double distance);
+  ARVY_COLD void send_with_faults(NodeId to, Envelope&& envelope,
+                                  double distance);
   // Current fault-schedule time: wall time since construction, in sim-time
   // units (fault_time_unit).
   [[nodiscard]] double fault_now() const;
   // The single writer path for satisfied_: increment under stats_mutex_,
   // notify after releasing it (see the threading contract above).
-  void note_satisfied();
+  ARVY_COLD void note_satisfied();
 
   graph::DistanceOracle oracle_;
   Options options_;
   std::vector<std::unique_ptr<NodeActor>> actors_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::atomic<std::uint64_t> next_request_{1};
-  std::atomic<std::uint64_t> satisfied_{0};
+  std::atomic<std::uint64_t> next_request_{1};  // ARVY-ATOMIC(counter)
+  std::atomic<std::uint64_t> satisfied_{0};     // ARVY-ATOMIC(counter)
   mutable support::RankedMutex stats_mutex_{support::lock_rank::kStats,
                                             "actor-stats"};
   std::condition_variable_any satisfied_cv_;
@@ -280,15 +293,15 @@ class ActorSystem {
                                              "actor-faults"};
   DelayedQueue<Deferred> delayed_;
   std::thread nurse_;
-  std::atomic<std::uint64_t> next_dedup_{1};
+  std::atomic<std::uint64_t> next_dedup_{1};  // ARVY-ATOMIC(counter)
   std::chrono::steady_clock::time_point start_;
 
   // Set (before rings close) to tell workers to exit once their partition
   // has no remaining work; workers drain everything already published first.
-  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopping_{false};  // ARVY-ATOMIC(flag)
   // False until shutdown() has joined every worker; the join provides the
   // happens-before edge that makes post-shutdown core inspection safe.
-  std::atomic<bool> shut_down_{false};
+  std::atomic<bool> shut_down_{false};  // ARVY-ATOMIC(flag)
 };
 
 }  // namespace arvy::runtime

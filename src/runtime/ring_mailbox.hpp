@@ -97,7 +97,7 @@ class RingMailbox {
     if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
-      std::atomic<std::uint64_t>& seq = seq_[pos & mask_];
+      std::atomic<std::uint64_t>& seq = seq_[pos & mask_];  // ARVY-ATOMIC(vyukov-slot)
       const std::uint64_t s = seq.load(std::memory_order_acquire);
       const auto diff =
           static_cast<std::int64_t>(s) - static_cast<std::int64_t>(pos);
@@ -173,17 +173,21 @@ class RingMailbox {
 
   // Sticky. Producers observe kClosed/false; the consumer drains whatever
   // was published, then sees an empty ring. Wakeups are the owner's job
-  // (the runtime parks workers, not rings).
-  void close() { closed_.store(true, std::memory_order_seq_cst); }
+  // (the runtime parks workers, not rings). Release pairs with try_push's
+  // acquire load; nothing about close participates in a Dekker-style
+  // store/load protocol, so seq_cst (the previous order) bought nothing.
+  void close() { closed_.store(true, std::memory_order_release); }
 
   [[nodiscard]] bool closed() const noexcept {
     return closed_.load(std::memory_order_acquire);
   }
 
   // Claimed-but-not-yet-consumed frame count; approximate under concurrency
-  // (test/diagnostic use only).
+  // (test/diagnostic use only). The tail read is relaxed like every other
+  // ticket access: neither counter justifies reading payload bytes, and an
+  // approximate difference needs no ordering at all.
   [[nodiscard]] std::size_t approx_size() const {
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
   }
@@ -194,14 +198,16 @@ class RingMailbox {
   std::size_t capacity_ = 0;
   std::size_t mask_ = 0;
   std::size_t slot_stride_;
-  std::unique_ptr<std::atomic<std::uint64_t>[]> seq_;
+  // Per-slot sequence words: the release/acquire publish protocol above.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> seq_;  // ARVY-ATOMIC(vyukov-slot)
   std::unique_ptr<std::byte[]> slab_;
 
   // Producers and consumer on separate cache lines; head_ is atomic only so
-  // approx_size/has_ready may peek from other threads.
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
-  alignas(64) std::atomic<std::uint64_t> head_{0};
-  alignas(64) std::atomic<bool> closed_{false};
+  // approx_size/has_ready may peek from other threads. tail_ is a pure
+  // ticket counter (relaxed CAS); head_ is single-writer (the consumer).
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // ARVY-ATOMIC(ticket)
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // ARVY-ATOMIC(single-writer)
+  alignas(64) std::atomic<bool> closed_{false};     // ARVY-ATOMIC(flag)
 };
 
 }  // namespace arvy::runtime

@@ -451,7 +451,10 @@ class MessageBus {
     return idx;
   }
 
-  void rebuild_fenwick() {
+  // Amortized: runs once per capacity doubling (push side) or per trimmed
+  // half-window (release side), never per message. ARVY_COLD keeps the
+  // assign()'s allocation out of the hot sections the object audit walks.
+  ARVY_COLD void rebuild_fenwick() {
     std::size_t cap = 64;
     while (cap < window_.size()) cap *= 2;
     fenwick_cap_ = cap;

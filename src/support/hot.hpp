@@ -1,8 +1,8 @@
-// ARVY_HOT: the hot-path discipline, as an annotation.
+// ARVY_HOT / ARVY_COLD: the hot-path discipline, as annotations.
 //
 // Mark a function ARVY_HOT when it sits on a measured per-message or
-// per-event path (bus delivery picks, Fenwick descent, engine bookkeeping).
-// The annotation does two things:
+// per-event path (bus delivery picks, Fenwick descent, ring enqueue/drain,
+// engine bookkeeping). The annotation does three things:
 //
 //  1. To the compiler it expands to [[gnu::hot]], biasing layout and
 //     optimization toward the annotated function.
@@ -10,16 +10,39 @@
 //     definition must contain no allocation, locking, throwing, or logging
 //     constructs - lexically checked over parameters, init list, and body,
 //     nested lambdas included. Calls *out* of a hot function are not
-//     chased; annotate the callee too if it is on the same path.
+//     chased by the lexical rule; annotate the callee too if it is on the
+//     same path.
+//  3. To the binary audit (arvy_lint --audit-objects) it is the root set:
+//     [[gnu::hot]] together with -ffunction-sections (set globally in the
+//     top-level CMakeLists) places every annotated function in its own
+//     `.text.hot.<mangled-name>` ELF section of the optimized object file.
+//     The audit walks the relocation call graph from those sections and
+//     rejects any path to an allocator, mutex, throw helper, or logging
+//     symbol - closing the lexical rule's blind spots (typedef laundering,
+//     allocation inlined through std:: internals) at the instruction level.
 //
-// The macro exists so the discipline is greppable and machine-checked
-// rather than tribal: roadmap item 2 (zero-alloc MPSC runtime path) lands
-// by extending the set of ARVY_HOT functions, and the lint keeps each one
-// honest from the day it is annotated.
+// ARVY_COLD is the declared escape hatch: a function a hot path may *call*
+// but that is off the measured path by design (overflow valves, park/wake
+// slow paths, first-arrival dedup inserts, contract-failure plumbing).
+// It expands to [[gnu::cold]] [[gnu::noinline]]:
+//
+//  - [[gnu::cold]] moves the definition into a `.text.unlikely.*` section,
+//    which the binary audit deliberately does not descend into - the cold
+//    side may lock and allocate, that is what it is for;
+//  - [[gnu::noinline]] keeps the body (and anything std:: it drags in,
+//    like a hash-table insert) from being inlined back into the hot
+//    caller's `.text.hot.*` section, which would re-open the blind spot.
+//
+// The macros exist so the discipline is greppable and machine-checked
+// rather than tribal: the zero-alloc MPSC runtime path (roadmap item 2)
+// lands by extending the set of ARVY_HOT functions, and the lint + audit
+// keep each one honest from the day it is annotated.
 #pragma once
 
 #if defined(__GNUC__) || defined(__clang__)
 #define ARVY_HOT [[gnu::hot]]
+#define ARVY_COLD [[gnu::cold]] [[gnu::noinline]]
 #else
 #define ARVY_HOT
+#define ARVY_COLD
 #endif

@@ -6,7 +6,8 @@
 namespace arvy::support {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+// Plain on/off knob: readers only gate output, so relaxed everywhere.
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};  // ARVY-ATOMIC(flag)
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {

@@ -1,0 +1,29 @@
+// Audit fixture: a hot function whose allocation hides one call level down.
+// The lexical hotpath rule cannot see helper()'s malloc from hot_entry's
+// body; the binary audit walks the relocation graph from the .text.hot.*
+// root and must reject both paths below.
+//
+// Compiled at test time (g++/clang++ -O2 -ffunction-sections -c); the
+// attributes are spelled directly so the fixture stands alone.
+#include <cstdlib>
+
+#define FIXTURE_HOT [[gnu::hot]]
+
+namespace {
+
+// noinline keeps the call edge in the object code; without it -O2 would
+// fold the allocation straight into the callers.
+[[gnu::noinline]] void* helper(std::size_t n) { return std::malloc(n); }
+
+}  // namespace
+
+void* sink;
+
+// Path 1: hot -> helper -> malloc (one hop, exercises the BFS).
+FIXTURE_HOT void* hot_indirect(std::size_t n) { return helper(n); }
+
+// Path 2: hot -> operator new (direct relocation from the hot section).
+FIXTURE_HOT void* hot_direct(std::size_t n) {
+  sink = ::operator new(n);
+  return sink;
+}

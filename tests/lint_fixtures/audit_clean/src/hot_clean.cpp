@@ -1,0 +1,20 @@
+// Audit fixture, passing side: the hot function is allocation-free, and its
+// only escape hatch is a cold-annotated slow path. [[gnu::cold]] lands the
+// helper in .text.unlikely.*, which the audit deliberately does not descend
+// into - a declared escape hatch is the contract, not a finding. This pins
+// that skip: remove the cold attribute and the fixture fails.
+#include <cstdlib>
+
+#define FIXTURE_HOT [[gnu::hot]]
+#define FIXTURE_COLD [[gnu::cold]] [[gnu::noinline]]
+
+void* sink;
+
+FIXTURE_COLD void overflow(std::size_t n) { sink = std::malloc(n); }
+
+FIXTURE_HOT std::size_t hot_sum(const std::size_t* v, std::size_t n) {
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];
+  if (acc == 0xdeadbeef) overflow(n);  // declared slow path
+  return acc;
+}

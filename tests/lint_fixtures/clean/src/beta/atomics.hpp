@@ -1,0 +1,35 @@
+// Clean instance of rule `atomic`: every std::atomic carries an
+// ARVY-ATOMIC(role) and every operation spells an order the role's
+// contract (this fixture's layers.toml [atomic] section) declares.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace beta {
+
+class Stats {
+ public:
+  void bump() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  void publish() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    ready_.store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] bool ready() const {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};  // ARVY-ATOMIC(counter)
+  // Annotation on the line above the declaration also binds:
+  // ARVY-ATOMIC(flag)
+  std::atomic<bool> ready_{false};
+};
+
+}  // namespace beta

@@ -393,6 +393,71 @@ TEST(ActorSystemStress, ConstructStormShutdownChurn) {
   }
 }
 
+TEST(ActorSystemStress, ParkWakeChurnWithTinyRings) {
+  // Targets the orderings the PR-9 atomic audit weakened on purpose: the
+  // relaxed eventcount phase word behind the two seq_cst Dekker fences
+  // (worker park vs producer wake), the release-only overflow_nonempty
+  // flag, and the relaxed request/satisfied counters. Tiny rings force
+  // overflow spills through the cold Mailbox valve, and deliberate idle
+  // gaps between volleys force real park/wake cycles instead of a
+  // saturated pipeline - exactly the schedules where a missing fence or a
+  // too-weak store would lose a wakeup (deadlock) or a frame (count
+  // mismatch). Run under TSan, this is the regression net for the
+  // contract table in docs/ARCHITECTURE.md section 6.
+  constexpr NodeId kNodes = 12;
+  const auto g = graph::make_ring(kNodes);
+  auto policy = proto::make_policy(proto::PolicyKind::kIvy);
+  runtime::ActorOptions options;
+  options.seed = 907;
+  options.workers = 2;       // nodes share workers: cross-worker wakes
+  options.ring_capacity = 2; // minimum: nearly every burst spills overflow
+  options.batch_size = 4;
+  runtime::ActorSystem system(g, proto::ring_bridge_config(kNodes), *policy,
+                              options);
+
+  // Several submitter threads fire distinct node ranges (one outstanding
+  // request per node is the model's rule), sleeping between volleys so
+  // workers drain fully and park before the next storm hits cold.
+  constexpr int kRounds = 40;
+  constexpr int kSubmitters = 3;
+  static_assert(kNodes % kSubmitters == 0);
+  constexpr NodeId kPerSubmitter = kNodes / kSubmitters;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&system, s] {
+      const auto base = static_cast<NodeId>(s) * kPerSubmitter;
+      for (int round = 0; round < kRounds; ++round) {
+        for (NodeId v = base; v < base + kPerSubmitter; ++v) {
+          system.request(v);
+        }
+        const std::uint64_t target =
+            static_cast<std::uint64_t>(round + 1) * kPerSubmitter *
+            kSubmitters;
+        // Wait for the cumulative cross-thread count, then go idle long
+        // enough for every worker to park on the eventcount.
+        ASSERT_TRUE(system.wait_for_satisfied_for(target, kWaitCeiling))
+            << "liveness regression: stuck at " << system.satisfied_count()
+            << " of " << target;
+        if (round % 4 == s) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  system.shutdown();
+
+  constexpr std::uint64_t kExpected =
+      static_cast<std::uint64_t>(kRounds) * kNodes;
+  EXPECT_EQ(system.satisfied_count(), kExpected);
+  EXPECT_EQ(system.submitted_count(), kExpected);
+  std::size_t holders = 0;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    holders += system.node(v).holds_token() ? 1u : 0u;
+  }
+  EXPECT_EQ(holders, 1u);
+}
+
 TEST(ActorSystemStress, ConcurrentWaitersAllWake) {
   // Several threads block in wait_for_satisfied while requests trickle in;
   // every waiter must wake (no lost notifications in the CV protocol).

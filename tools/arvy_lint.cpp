@@ -2,7 +2,7 @@
 //
 // Generic tooling (clang-tidy, TSan) catches bugs after they exist; this
 // tool rejects the *disciplines* the roadmap's scaling work relies on being
-// broken in the first place. Five rules, each with a stable id:
+// broken in the first place. Seven rules, each with a stable id:
 //
 //   layering     src/ includes must follow the layer DAG committed in
 //                docs/layers.toml (single source of truth; rendered in
@@ -26,12 +26,37 @@
 //   deprecation  the [[deprecated]] Directory::engine() escape hatch is an
 //                error everywhere; lexically, any `engine()` call or
 //                declaration. The allowlist is inline-only and shrinking.
+//   atomic       every std::atomic declared under src/ must carry a
+//                `// ARVY-ATOMIC(role)` annotation; the [atomic] config
+//                section fixes, per role, the legal memory_order set for
+//                each operation kind (load/store/RMW, plus the standalone
+//                fence orders). Every use site is checked; a call with no
+//                explicit order is checked as the implicit seq_cst.
+//   audit        (object mode, --audit-objects DIR) the binary-level
+//                ARVY_HOT contract: walks the relocation call graph of the
+//                optimized objects under DIR/src from every function the
+//                compiler placed in a .text.hot.* section (support/hot.hpp
+//                + -ffunction-sections) and rejects any path to an [audit]
+//                banned symbol (allocators, pthread mutex/cond, throw
+//                helpers, logging). .text.unlikely.* sections (ARVY_COLD
+//                escape hatches and compiler-split cold halves) are the
+//                declared cold side and are not descended into; [audit]
+//                assume_clean stops traversal at documented boundaries and
+//                [audit] allow declares tolerated caller->callee edges.
+//                This closes the hotpath rule's lexical blind spots
+//                (typedef laundering, allocation inlined through std::
+//                internals) at the instruction level. Known limits: calls
+//                through function pointers stored elsewhere are invisible
+//                to relocations, and undefined symbols that are not banned
+//                are trusted leaves (memcpy and friends).
 //
 // Suppression: `// ARVY-LINT-ALLOW(rule)` (optionally `(rule1,rule2)`, with
 // a trailing `: justification`) is the single suppression mechanism. It
 // silences the named rule(s) on its own line and the next line, so it works
 // both trailing and as a lead-in comment. Whole-file grants exist only where
-// the config declares them ([lock] allow_files; [msgpod] headers scope).
+// the config declares them ([lock] allow_files; [msgpod] headers scope;
+// [audit] assume_clean/allow for the object mode, where there are no
+// source lines to annotate).
 //
 // The tool is deliberately lexical: a comment/string-aware tokenizer over
 // the tree plus the CMake-exported compile_commands.json for coverage
@@ -39,7 +64,9 @@
 // layer). No libclang, so it runs on the bare toolchain in seconds and its
 // verdicts are byte-stable for fixtures. The cost is the usual lexical
 // blind spots (typedef laundering, macro indirection); the fixture corpus
-// under tests/lint_fixtures/ pins exactly what is and is not caught.
+// under tests/lint_fixtures/ pins exactly what is and is not caught, and
+// the object audit re-checks the hot-path half with the compiler's own
+// output as ground truth.
 //
 // Exit codes: 0 clean, 1 violations, 2 usage/config error. --stats-json
 // emits a machine-readable report (CI artifact, like arvy_explore).
@@ -47,6 +74,8 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -56,7 +85,13 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#if defined(__GNUG__) && __has_include(<cxxabi.h>)
+#include <cxxabi.h>
+#define ARVY_LINT_HAVE_DEMANGLE 1
+#endif
 
 namespace {
 
@@ -78,12 +113,13 @@ struct Options {
   std::string layers_path;            // default: <root>/docs/layers.toml
   std::string compile_commands_path;  // optional cross-check
   std::string stats_json_path;
+  std::string audit_objects_dir;  // non-empty enables the object audit
   std::set<std::string> only_rules;  // empty = all
   bool quiet = false;
 };
 
-const std::vector<std::string> kAllRules = {"layering", "lock", "hotpath",
-                                            "msgpod", "deprecation"};
+const std::vector<std::string> kAllRules = {
+    "layering", "lock", "hotpath", "msgpod", "deprecation", "atomic", "audit"};
 
 // ---------------------------------------------------------------------------
 // Config: docs/layers.toml (tiny TOML subset: [section], key = [ "a", "b" ])
@@ -94,6 +130,15 @@ struct Config {
   std::map<std::string, std::set<std::string>> layer_closure;
   std::set<std::string> lock_allow_files;
   std::vector<std::string> msgpod_headers;
+  // [atomic]: role -> operation kind ("load"/"store"/"rmw") -> legal orders.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      atomic_roles;
+  std::set<std::string> atomic_fence_orders;
+  // [audit]: substring patterns over mangled AND demangled symbol names.
+  std::vector<std::string> audit_banned;
+  std::vector<std::string> audit_assume_clean;
+  std::vector<std::pair<std::string, std::string>> audit_allow;  // caller->callee
+  bool audit_declared = false;
 };
 
 void fail_config(const std::string& what) {
@@ -159,8 +204,20 @@ Config load_config(const std::string& path) {
                   ": expected key = [..]");
     }
     const std::string key = trim(t.substr(0, eq));
-    const std::string value = trim(t.substr(eq + 1));
+    std::string value = trim(t.substr(eq + 1));
     const std::string context = path + ":" + std::to_string(lineno);
+    // Multi-line lists: a value opening '[' without its ']' continues on the
+    // following lines (comments stripped) until the bracket closes.
+    while (!value.empty() && value.front() == '[' && value.back() != ']') {
+      std::string cont;
+      if (!std::getline(in, cont)) {
+        fail_config(context + ": unterminated [...] list");
+      }
+      ++lineno;
+      const std::size_t chash = cont.find('#');
+      if (chash != std::string::npos) cont.erase(chash);
+      value += ' ' + trim(cont);
+    }
     if (section == "layers") {
       cfg.layer_deps[key] = parse_string_list(value, context);
     } else if (section == "lock" && key == "allow_files") {
@@ -169,6 +226,41 @@ Config load_config(const std::string& path) {
       }
     } else if (section == "msgpod" && key == "headers") {
       cfg.msgpod_headers = parse_string_list(value, context);
+    } else if (section == "atomic" && key == "fence") {
+      for (auto& o : parse_string_list(value, context)) {
+        cfg.atomic_fence_orders.insert(o);
+      }
+    } else if (section == "atomic") {
+      // Contract entries are `<role>.<op> = [orders]`.
+      const std::size_t dot = key.rfind('.');
+      if (dot == std::string::npos || dot == 0 || dot + 1 >= key.size()) {
+        fail_config(context + ": [atomic] keys are '<role>.<op>' or 'fence'");
+      }
+      const std::string role = key.substr(0, dot);
+      const std::string op = key.substr(dot + 1);
+      if (op != "load" && op != "store" && op != "rmw") {
+        fail_config(context + ": unknown atomic operation kind '" + op +
+                    "' (expected load/store/rmw)");
+      }
+      for (auto& o : parse_string_list(value, context)) {
+        cfg.atomic_roles[role][op].insert(o);
+      }
+    } else if (section == "audit" && key == "banned") {
+      cfg.audit_banned = parse_string_list(value, context);
+      cfg.audit_declared = true;
+    } else if (section == "audit" && key == "assume_clean") {
+      cfg.audit_assume_clean = parse_string_list(value, context);
+      cfg.audit_declared = true;
+    } else if (section == "audit" && key == "allow") {
+      for (auto& edge : parse_string_list(value, context)) {
+        const std::size_t arrow = edge.find("->");
+        if (arrow == std::string::npos) {
+          fail_config(context + ": [audit] allow entries are 'caller -> callee'");
+        }
+        cfg.audit_allow.emplace_back(trim(edge.substr(0, arrow)),
+                                     trim(edge.substr(arrow + 2)));
+      }
+      cfg.audit_declared = true;
     } else {
       fail_config(context + ": unknown entry [" + section + "] " + key);
     }
@@ -216,6 +308,9 @@ struct SourceFile {
   // line -> rules allowed on that line (ALLOW covers its line and the next).
   std::map<std::size_t, std::set<std::string>> allows;
   std::size_t allows_declared = 0;
+  // line -> role from an ARVY-ATOMIC(role) comment (same coverage: the
+  // annotation's own line and the next, so it works trailing and lead-in).
+  std::map<std::size_t, std::string> atomic_tags;
 };
 
 // Records ARVY-LINT-ALLOW(rule[,rule]) found in a comment that ends on
@@ -235,6 +330,28 @@ void record_allows(SourceFile& f, std::string_view comment, std::size_t line) {
       f.allows[line].insert(r);
       f.allows[line + 1].insert(r);
       ++f.allows_declared;
+    }
+    at = close + 1;
+  }
+}
+
+// Records `ARVY-ATOMIC(role)` found in a comment ending on `line`; like
+// ALLOW, the binding covers the comment's own line and the following line.
+// An annotation directly on a line wins over one inherited from the line
+// above (comments are harvested top-down, so the exact-line write lands
+// after the lead-in's spill-over emplace).
+void record_atomic_tags(SourceFile& f, std::string_view comment,
+                        std::size_t line) {
+  static constexpr std::string_view kTag = "ARVY-ATOMIC(";
+  std::size_t at = 0;
+  while ((at = comment.find(kTag, at)) != std::string_view::npos) {
+    const std::size_t open = at + kTag.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string_view::npos) break;
+    const std::string role = trim(comment.substr(open, close - open));
+    if (!role.empty()) {
+      f.atomic_tags[line] = role;
+      f.atomic_tags.emplace(line + 1, role);
     }
     at = close + 1;
   }
@@ -261,6 +378,7 @@ void strip_and_annotate(SourceFile& f) {
       const std::size_t eol = s.find('\n', i);
       const std::size_t end = eol == std::string::npos ? n : eol;
       record_allows(f, std::string_view(s).substr(i, end - i), line);
+      record_atomic_tags(f, std::string_view(s).substr(i, end - i), line);
       i = end;
     } else if (c == '/' && i + 1 < n && s[i + 1] == '*') {
       const std::size_t close = s.find("*/", i + 2);
@@ -273,6 +391,7 @@ void strip_and_annotate(SourceFile& f) {
         }
       }
       record_allows(f, std::string_view(s).substr(i, end - i), last_line);
+      record_atomic_tags(f, std::string_view(s).substr(i, end - i), last_line);
       i = end;
     } else if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
       // Raw string literal: R"delim( ... )delim"
@@ -363,7 +482,11 @@ class Linter {
     if (enabled("hotpath")) check_hotpath();
     if (enabled("msgpod")) check_msgpod();
     if (enabled("deprecation")) check_deprecation();
+    if (enabled("atomic")) check_atomic();
     if (enabled("layering")) check_compile_commands();
+    if (enabled("audit") && !options_.audit_objects_dir.empty()) {
+      check_audit();
+    }
     return report();
   }
 
@@ -673,6 +796,193 @@ class Linter {
     }
   }
 
+  // --- rule: atomic --------------------------------------------------------
+
+  // Operation kind of an atomic member call, empty when not order-relevant.
+  static std::string_view atomic_op_kind(std::string_view member) {
+    static const std::map<std::string_view, std::string_view> kMap = {
+        {"load", "load"},
+        {"store", "store"},
+        {"exchange", "rmw"},
+        {"fetch_add", "rmw"},
+        {"fetch_sub", "rmw"},
+        {"fetch_and", "rmw"},
+        {"fetch_or", "rmw"},
+        {"fetch_xor", "rmw"},
+        {"compare_exchange_weak", "rmw"},
+        {"compare_exchange_strong", "rmw"}};
+    const auto it = kMap.find(member);
+    return it == kMap.end() ? std::string_view{} : it->second;
+  }
+
+  // Collects the memory_order_* arguments of the balanced parens starting
+  // at token `open` ('('); returns the stripped order names ("relaxed",
+  // "seq_cst", ...) and sets `end` past the closing ')'.
+  static std::vector<std::string> collect_orders(const SourceFile& f,
+                                                 std::size_t open,
+                                                 std::size_t& end) {
+    static constexpr std::string_view kPrefix = "memory_order_";
+    std::vector<std::string> orders;
+    long depth = 0;
+    std::size_t i = open;
+    for (; i < f.tokens.size(); ++i) {
+      if (f.tokens[i].text == "(") ++depth;
+      if (f.tokens[i].text == ")" && --depth == 0) break;
+      if (f.tokens[i].ident && f.tokens[i].text.rfind(kPrefix, 0) == 0) {
+        orders.emplace_back(f.tokens[i].text.substr(kPrefix.size()));
+      }
+    }
+    end = i;
+    return orders;
+  }
+
+  void check_atomic() {
+    // Pass 1: every `std::atomic<...>` declaration under src/ needs an
+    // ARVY-ATOMIC(role) with a role the [atomic] config defines. Bindings
+    // are global across the tree (a member declared in a header is used in
+    // its .cpp), keyed by the declared name - lexical, like everything
+    // else here, so distinct atomics sharing a name must share a role.
+    std::map<std::string, std::string> roles;      // name -> role
+    std::map<std::string, std::string> role_site;  // name -> "file:line"
+    for (const SourceFile& f : files_) {
+      if (f.rel.rfind("src/", 0) != 0) continue;
+      const auto& toks = f.tokens;
+      for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!toks[i].ident || toks[i].text != "std" ||
+            toks[i + 1].text != "::" || toks[i + 2].text != "atomic") {
+          continue;
+        }
+        std::size_t j = i + 3;
+        if (j < toks.size() && toks[j].text == "<") {
+          long depth = 0;
+          for (; j < toks.size(); ++j) {
+            if (toks[j].text == "<") ++depth;
+            if (toks[j].text == ">" && --depth == 0) break;
+          }
+          ++j;  // past the closing '>'
+        }
+        // Declarator adornments between the type and the name; stopping at
+        // anything else (e.g. '(') rejects non-declaration mentions like
+        // make_unique<std::atomic<T>[]>(n).
+        while (j < toks.size() &&
+               (toks[j].text == "[" || toks[j].text == "]" ||
+                toks[j].text == ">" || toks[j].text == "*" ||
+                toks[j].text == "&")) {
+          ++j;
+        }
+        if (j >= toks.size() || !toks[j].ident) continue;
+        const std::string name(toks[j].text);
+        const std::size_t line = toks[j].line;
+        const auto tag = f.atomic_tags.find(line);
+        if (tag == f.atomic_tags.end()) {
+          add(f, line, "atomic",
+              "std::atomic '" + name + "' has no ARVY-ATOMIC(role) annotation",
+              "declare the word's protocol role (see [atomic] in the lint "
+              "config); the role fixes which memory orders its operations "
+              "may use");
+          continue;
+        }
+        const std::string& role = tag->second;
+        if (config_.atomic_roles.find(role) == config_.atomic_roles.end()) {
+          add(f, line, "atomic",
+              "ARVY-ATOMIC role '" + role + "' on '" + name +
+                  "' is not declared in the [atomic] config section",
+              "add '" + role + ".<op> = [...]' entries or use a declared role");
+          continue;
+        }
+        const auto prev = roles.find(name);
+        if (prev != roles.end() && prev->second != role) {
+          add(f, line, "atomic",
+              "atomic '" + name + "' re-annotated as '" + role +
+                  "' but already bound to '" + prev->second + "' at " +
+                  role_site[name],
+              "bindings are lexical by name: rename one of the atomics or "
+              "align the roles");
+          continue;
+        }
+        roles[name] = role;
+        role_site[name] = f.rel + ":" + std::to_string(line);
+      }
+    }
+
+    // Pass 2: use sites. `name[...].op(...)` and `name.op(...)` check the
+    // call's memory_order arguments (implicit = seq_cst) against the role
+    // contract; standalone atomic_thread_fence checks the fence list.
+    for (const SourceFile& f : files_) {
+      if (f.rel.rfind("src/", 0) != 0) continue;
+      const auto& toks = f.tokens;
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (!toks[i].ident) continue;
+        if (toks[i].text == "atomic_thread_fence" ||
+            toks[i].text == "atomic_signal_fence") {
+          if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+          std::size_t end = i + 1;
+          for (const std::string& o : collect_orders(f, i + 1, end)) {
+            if (config_.atomic_fence_orders.count(o) == 0) {
+              add(f, toks[i].line, "atomic",
+                  "fence order '" + o + "' is outside the [atomic] fence "
+                  "contract",
+                  "the declared fences are the eventcount's Dekker pair; a "
+                  "new fence protocol needs a config entry and a written "
+                  "pairing argument");
+            }
+          }
+          i = end;
+          continue;
+        }
+        const auto bound = roles.find(std::string(toks[i].text));
+        if (bound == roles.end()) continue;
+        const std::string& name = bound->first;
+        const std::string& role = bound->second;
+        std::size_t j = i + 1;
+        if (j < toks.size() && toks[j].text == "[") {
+          long depth = 0;
+          for (; j < toks.size(); ++j) {
+            if (toks[j].text == "[") ++depth;
+            if (toks[j].text == "]" && --depth == 0) break;
+          }
+          ++j;
+        }
+        if (j + 1 >= toks.size() || toks[j].text != ".") continue;
+        const std::string_view kind = atomic_op_kind(toks[j + 1].text);
+        if (kind.empty()) continue;
+        if (j + 2 >= toks.size() || toks[j + 2].text != "(") continue;
+        std::size_t end = j + 2;
+        std::vector<std::string> orders = collect_orders(f, j + 2, end);
+        const bool implicit = orders.empty();
+        if (implicit) orders.emplace_back("seq_cst");
+        const auto& contract = config_.atomic_roles.at(role);
+        const auto ops = contract.find(std::string(kind));
+        const std::size_t line = toks[j + 1].line;
+        if (ops == contract.end()) {
+          add(f, line, "atomic",
+              "role '" + role + "' ('" + name + "') has no " +
+                  std::string(kind) + " contract, but '" +
+                  std::string(toks[j + 1].text) + "' is one",
+              "either the operation is wrong for this word's protocol or "
+              "the [atomic] contract is missing an entry");
+          i = end;
+          continue;
+        }
+        for (const std::string& o : orders) {
+          if (ops->second.count(o) == 0) {
+            add(f, line, "atomic",
+                std::string(implicit ? "implicit " : "") + "memory order '" +
+                    o + "' on '" + name + "." +
+                    std::string(toks[j + 1].text) + "' is outside role '" +
+                    role + "' (" + std::string(kind) + ")",
+                implicit
+                    ? "spell the order out: the role contract rejects "
+                      "defaulted seq_cst so strength is always a decision"
+                    : "use an order the role declares, or re-justify the "
+                      "role's contract in the config");
+          }
+        }
+        i = end;
+      }
+    }
+  }
+
   // --- compile_commands coverage cross-check -------------------------------
 
   void check_compile_commands() {
@@ -714,6 +1024,325 @@ class Linter {
     }
   }
 
+  // --- rule: audit (binary-level ARVY_HOT allocation/lock/throw audit) -----
+
+  static std::string demangle(const std::string& mangled) {
+#if ARVY_LINT_HAVE_DEMANGLE
+    int status = 0;
+    char* out = abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+    if (status == 0 && out != nullptr) {
+      std::string result(out);
+      std::free(out);
+      return result;
+    }
+#endif
+    return mangled;
+  }
+
+  // Single-quote shell quoting; safe for arbitrary paths.
+  static std::string shell_quote(const std::string& s) {
+    std::string out = "'";
+    for (const char c : s) {
+      if (c == '\'') {
+        out += "'\\''";
+      } else {
+        out.push_back(c);
+      }
+    }
+    out += "'";
+    return out;
+  }
+
+  // Runs a command, captures stdout. Returns false on popen/exit failure.
+  static bool run_capture(const std::string& cmd, std::string& out) {
+    out.clear();
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return false;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0) {
+      out.append(buf, n);
+    }
+    return ::pclose(pipe) == 0;
+  }
+
+  static std::vector<std::string> split_ws(const std::string& line) {
+    std::vector<std::string> out;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok) out.push_back(std::move(tok));
+    return out;
+  }
+
+  static bool is_hex(const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return false;
+    }
+    return true;
+  }
+
+  // True when `pattern` occurs in the mangled or demangled symbol name.
+  static bool name_matches(const std::string& mangled,
+                           const std::string& demangled,
+                           const std::string& pattern) {
+    return mangled.find(pattern) != std::string::npos ||
+           demangled.find(pattern) != std::string::npos;
+  }
+
+  bool matches_any(const std::string& mangled, const std::string& demangled,
+                   const std::vector<std::string>& patterns) const {
+    for (const auto& p : patterns) {
+      if (name_matches(mangled, demangled, p)) return true;
+    }
+    return false;
+  }
+
+  void check_audit() {
+    if (!config_.audit_declared) {
+      fail_config("--audit-objects needs an [audit] section in the config "
+                  "(banned symbol patterns) - refusing to audit nothing");
+    }
+    std::string probe;
+    if (!run_capture("objdump --version >/dev/null 2>&1 && echo ok", probe) ||
+        probe.find("ok") == std::string::npos) {
+      std::cerr << "arvy_lint: objdump not found; --audit-objects needs "
+                   "binutils\n";
+      std::exit(2);
+    }
+
+    // Audit only the library objects under <dir>/src: test and tool TUs
+    // instantiate hot templates with their own user code (lambdas passed to
+    // try_push etc.) that is not shipped on the runtime hot path.
+    const fs::path src_dir = fs::path(options_.audit_objects_dir) / "src";
+    if (!fs::is_directory(src_dir)) {
+      std::cerr << "arvy_lint: '" << src_dir.string()
+                << "' is not a directory; point --audit-objects at a CMake "
+                   "build tree that has compiled src/\n";
+      std::exit(2);
+    }
+    std::vector<fs::path> objects;
+    for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".o") {
+        objects.push_back(entry.path());
+      }
+    }
+    std::sort(objects.begin(), objects.end());
+    if (objects.empty()) {
+      std::cerr << "arvy_lint: no .o files under '" << src_dir.string()
+                << "'; build the tree before auditing\n";
+      std::exit(2);
+    }
+
+    std::size_t hot_total = 0;
+    for (const fs::path& obj : objects) {
+      ++audit_objects_scanned_;
+      hot_total += audit_object(obj);
+    }
+    audit_hot_functions_ = hot_total;
+    if (hot_total == 0) {
+      std::cerr << "arvy_lint: no .text.hot.* sections in any object under '"
+                << src_dir.string()
+                << "'. ARVY_HOT only lands functions in hot sections in an "
+                   "optimized build (-O2, -ffunction-sections); audit a "
+                   "Release/RelWithDebInfo tree\n";
+      std::exit(2);
+    }
+  }
+
+  // Audits one object file; returns the number of hot root sections found.
+  std::size_t audit_object(const fs::path& obj) {
+    const std::string quoted = shell_quote(obj.string());
+    std::string symtab;
+    std::string relocs;
+    if (!run_capture("objdump -t " + quoted + " 2>/dev/null", symtab) ||
+        !run_capture("objdump -r " + quoted + " 2>/dev/null", relocs)) {
+      std::cerr << "arvy_lint: objdump failed on '" << obj.string() << "'\n";
+      std::exit(2);
+    }
+
+    // Symbol table: which section is each defined symbol in, and what is the
+    // (function) symbol that names each section.
+    std::map<std::string, std::string> symbol_section;  // sym -> section
+    std::map<std::string, std::string> section_func;    // section -> function
+    std::vector<std::string> hot_sections;
+    {
+      std::istringstream in(symtab);
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::vector<std::string> toks = split_ws(line);
+        // "0000... <flags> <section> <size/align> <name>"; flag columns vary,
+        // so the section is the first token after the value that starts with
+        // '.' or '*'.
+        if (toks.size() < 4 || !is_hex(toks[0])) continue;
+        std::size_t sec = 0;
+        for (std::size_t k = 1; k + 1 < toks.size(); ++k) {
+          if (toks[k][0] == '.' || toks[k][0] == '*') {
+            sec = k;
+            break;
+          }
+        }
+        if (sec == 0 || sec + 2 >= toks.size()) continue;
+        const std::string& section = toks[sec];
+        const std::string& name = toks[sec + 2];
+        if (section == "*ABS*" || section == "*UND*") continue;
+        if (name == section) {
+          // Section symbol row: this is where .text.hot.* roots surface even
+          // when the function symbol itself is local.
+          if (section.rfind(".text.hot.", 0) == 0) {
+            hot_sections.push_back(section);
+          }
+          continue;
+        }
+        symbol_section[name] = section;
+        // Function symbols carry an 'F' flag column before the section.
+        bool is_func = false;
+        for (std::size_t k = 1; k < sec; ++k) {
+          if (toks[k] == "F") is_func = true;
+        }
+        if (is_func && section_func.find(section) == section_func.end()) {
+          section_func[section] = name;
+        }
+      }
+    }
+    std::sort(hot_sections.begin(), hot_sections.end());
+    hot_sections.erase(std::unique(hot_sections.begin(), hot_sections.end()),
+                       hot_sections.end());
+    if (hot_sections.empty()) return 0;
+
+    // Relocations: the outgoing call/reference edges of every section.
+    std::map<std::string, std::vector<std::string>> section_targets;
+    {
+      std::istringstream in(relocs);
+      std::string line;
+      std::string current;
+      static constexpr std::string_view kHeader = "RELOCATION RECORDS FOR [";
+      while (std::getline(in, line)) {
+        const std::size_t at = line.find(kHeader);
+        if (at != std::string::npos) {
+          const std::size_t open = at + kHeader.size();
+          const std::size_t close = line.find(']', open);
+          current = close == std::string::npos
+                        ? std::string{}
+                        : line.substr(open, close - open);
+          continue;
+        }
+        if (current.empty()) continue;
+        const std::vector<std::string> toks = split_ws(line);
+        if (toks.size() < 3 || !is_hex(toks[0])) continue;
+        std::string target = toks[2];
+        // Strip the "+0x..."/"-0x..." addend objdump appends.
+        const std::size_t plus = target.rfind("+0x");
+        const std::size_t minus = target.rfind("-0x");
+        const std::size_t cut = std::min(plus, minus);
+        if (cut != std::string::npos) target = target.substr(0, cut);
+        if (target.empty()) continue;
+        section_targets[current].push_back(std::move(target));
+      }
+    }
+
+    // BFS over sections from the hot roots. parent[] remembers the edge that
+    // first reached each section so a violation can print the call chain.
+    const std::string obj_rel =
+        fs::path(obj.lexically_relative(fs::path(options_.audit_objects_dir)))
+            .generic_string();
+    std::map<std::string, std::string> parent;  // section -> caller section
+    std::set<std::string> visited;
+    std::set<std::pair<std::string, std::string>> reported;
+    std::vector<std::string> queue = hot_sections;
+    for (const auto& h : hot_sections) visited.insert(h);
+
+    auto section_name_of = [&](const std::string& section) {
+      const auto it = section_func.find(section);
+      if (it != section_func.end()) return demangle(it->second);
+      // .text.hot.<mangled> / .text.<mangled>: recover the function name
+      // from the section name itself.
+      for (const std::string_view prefix :
+           {std::string_view{".text.hot."}, std::string_view{".text.unlikely."},
+            std::string_view{".text."}}) {
+        if (section.rfind(prefix, 0) == 0) {
+          return demangle(section.substr(prefix.size()));
+        }
+      }
+      return section;
+    };
+    auto chain_of = [&](const std::string& section) {
+      std::vector<std::string> hops{section_name_of(section)};
+      std::string cur = section;
+      while (true) {
+        const auto it = parent.find(cur);
+        if (it == parent.end()) break;
+        cur = it->second;
+        hops.push_back(section_name_of(cur));
+      }
+      std::string out;
+      for (auto it = hops.rbegin(); it != hops.rend(); ++it) {
+        if (!out.empty()) out += " -> ";
+        out += *it;
+      }
+      return out;
+    };
+
+    while (!queue.empty()) {
+      const std::string section = queue.back();
+      queue.pop_back();
+      const auto edges = section_targets.find(section);
+      if (edges == section_targets.end()) continue;
+      for (const std::string& target : edges->second) {
+        // A target that IS a section name (e.g. ".text.foo" from a PC32
+        // reloc against a local symbol) is followed directly.
+        if (target[0] == '.') {
+          if (target.rfind(".text", 0) != 0) continue;  // data/rodata/jump tbl
+          if (target.rfind(".text.unlikely.", 0) == 0) continue;  // cold half
+          if (visited.insert(target).second) {
+            parent[target] = section;
+            queue.push_back(target);
+          }
+          continue;
+        }
+        const std::string pretty = demangle(target);
+        if (matches_any(target, pretty, config_.audit_banned)) {
+          const std::string caller = section_name_of(section);
+          bool allowed_edge = false;
+          for (const auto& [from, to] : config_.audit_allow) {
+            if (name_matches(section, caller, from) &&
+                name_matches(target, pretty, to)) {
+              allowed_edge = true;
+              break;
+            }
+          }
+          if (allowed_edge) {
+            ++allows_used_;
+            continue;
+          }
+          if (!reported.insert({section, target}).second) continue;
+          Violation v;
+          v.file = obj_rel;
+          v.line = 1;
+          v.rule = "audit";
+          v.message = "hot path reaches banned symbol '" + pretty +
+                      "': " + chain_of(section) + " -> " + pretty;
+          v.hint = "hot code must not allocate/lock/throw/log: move the "
+                   "branch behind ARVY_COLD, or declare the edge in "
+                   "[audit] allow with a written justification";
+          violations_.push_back(std::move(v));
+          continue;
+        }
+        if (matches_any(target, pretty, config_.audit_assume_clean)) continue;
+        const auto def = symbol_section.find(target);
+        if (def == symbol_section.end()) continue;  // undefined: trusted leaf
+        const std::string& tsec = def->second;
+        if (tsec.rfind(".text", 0) != 0) continue;
+        if (tsec.rfind(".text.unlikely.", 0) == 0) continue;
+        if (visited.insert(tsec).second) {
+          parent[tsec] = section;
+          queue.push_back(tsec);
+        }
+      }
+    }
+    return hot_sections.size();
+  }
+
   // --- output --------------------------------------------------------------
 
   [[nodiscard]] const SourceFile* find_file(const std::string& rel) const {
@@ -745,6 +1374,8 @@ class Linter {
     for (const auto& v : violations_) ++counts[v.rule];
     out << "{\n  \"files_scanned\": " << files_.size() << ",\n";
     out << "  \"allows_used\": " << allows_used_ << ",\n";
+    out << "  \"audit_objects_scanned\": " << audit_objects_scanned_ << ",\n";
+    out << "  \"audit_hot_functions\": " << audit_hot_functions_ << ",\n";
     out << "  \"rule_counts\": {";
     bool first = true;
     for (const auto& [rule, count] : counts) {
@@ -802,6 +1433,8 @@ class Linter {
   std::vector<SourceFile> files_;
   std::vector<Violation> violations_;
   std::size_t allows_used_ = 0;
+  std::size_t audit_objects_scanned_ = 0;
+  std::size_t audit_hot_functions_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -817,11 +1450,15 @@ usage: arvy_lint [options]
                           ROOT/layers.toml)
   --compile-commands FILE CMake compile database for TU coverage cross-check
   --rule NAME             run only this rule (repeatable; default: all)
+  --audit-objects DIR     CMake build tree whose src/ objects the `audit`
+                          rule walks (hot-section call-graph audit; needs an
+                          optimized build and binutils objdump)
   --stats-json FILE       write a machine-readable report (CI artifact)
   --quiet                 suppress hints and the OK summary
   --list-rules            print the rule ids and exit
 
-rules: layering lock hotpath msgpod deprecation
+rules: layering lock hotpath msgpod deprecation atomic audit
+  (`audit` only runs when --audit-objects is given)
 suppression: // ARVY-LINT-ALLOW(rule): justification  (covers its line + next)
 exit codes: 0 clean, 1 violations, 2 usage/config error
 )";
@@ -854,6 +1491,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.only_rules.insert(rule);
+    } else if (arg == "--audit-objects") {
+      options.audit_objects_dir = need_value("--audit-objects");
     } else if (arg == "--stats-json") {
       options.stats_json_path = need_value("--stats-json");
     } else if (arg == "--quiet") {
@@ -872,6 +1511,11 @@ int main(int argc, char** argv) {
   if (!fs::is_directory(options.root)) {
     std::cerr << "arvy_lint: --root '" << options.root
               << "' is not a directory\n";
+    return 2;
+  }
+  if (options.only_rules.count("audit") > 0 &&
+      options.audit_objects_dir.empty()) {
+    std::cerr << "arvy_lint: --rule audit needs --audit-objects DIR\n";
     return 2;
   }
   if (options.layers_path.empty()) {
