@@ -1,6 +1,7 @@
 // Cache coherence: the paper's original motivation (§1). A multiprocessor
 // where cores on a 2D mesh contend for write ownership of shared cache
-// lines; one independent Arvy instance per line (MultiDirectory).
+// lines; one independent Arvy instance per line, served by the sharded
+// arvy::DirectoryService.
 //
 //   $ ./cache_coherence
 //
@@ -11,7 +12,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
-#include "proto/directory.hpp"
+#include "service/directory_service.hpp"
 #include "support/rng.hpp"
 #include "workload/workload.hpp"
 
@@ -24,11 +25,14 @@ struct Write {
 
 double run(const arvy::graph::Graph& mesh, const std::vector<Write>& writes,
            arvy::proto::PolicyKind policy, std::size_t lines) {
-  arvy::MultiDirectory directory(mesh, lines, {.policy = policy});
+  // Two shards: cache lines hash across them, each owning one reusable
+  // engine - the same facade scales to millions of lines unchanged.
+  arvy::DirectoryService directory(mesh, lines, /*shard_count=*/2,
+                                   {.policy = policy});
   for (const Write& w : writes) {
     directory.acquire_and_wait(w.line, w.core);
   }
-  return directory.total_costs().total_distance();
+  return directory.cost_snapshot().total_distance();
 }
 
 }  // namespace

@@ -225,6 +225,172 @@ def runtime_sweep_report(paths, out, baseline, max_regress):
             sys.exit(1)
 
 
+def parse_grid_args(name):
+    """Extracts (objects, shards) from BM_MultiObjectService/objects:X/
+    shards:Y[/real_time]; returns None if the name has no such arguments."""
+    objects = shards = None
+    for part in name.split("/")[1:]:
+        key, sep, value = part.partition(":")
+        if sep and value.isdigit():
+            if key == "objects":
+                objects = int(value)
+            elif key == "shards":
+                shards = int(value)
+    if objects is None or shards is None:
+        return None
+    return objects, shards
+
+
+def multi_object_sweep_report(paths, out, baseline, max_regress):
+    """Single-capture mode for the sharded DirectoryService sweep.
+
+    Reads google-benchmark JSON from bench/multi_object (the objects x shards
+    grid) and writes the two shapes the service design must show:
+
+      - per-object traffic flat in the object count (find_per_satisfied at
+        the largest object count vs the smallest, per shard leg);
+      - satisfied/s scaling with shards, normalized by min(shards,
+        hw_threads) so a 1-core runner gates the same contract as a 16-core
+        one.
+
+        ./build-bench/bench/multi_object --benchmark_format=json > multi.json
+        scripts/bench_report.py --multi-object-sweep multi.json \\
+            --out BENCH_10.json
+
+    With --baseline <previous BENCH_10.json>, fails (exit 1) when, on any
+    grid point present in both captures, find_per_satisfied grew by more
+    than --max-regress or normalized shard scaling dropped by more than
+    --max-regress. Both are ratios of same-capture quantities (protocol
+    message counts; rate(S)/rate(1)), so CI hardware churn cancels out.
+    """
+    context, entries = load_side(paths)
+    grid = []
+    for name, bench in entries.items():
+        if not name.startswith("BM_MultiObjectService"):
+            continue
+        grid_args = parse_grid_args(name)
+        if grid_args is None:
+            print(f"warning: skipping {name!r} (no objects:/shards: args)",
+                  file=sys.stderr)
+            continue
+        objects, shards = grid_args
+        grid.append({
+            "objects": objects,
+            "shards": shards,
+            "time_unit": bench.get("time_unit", "ns"),
+            "real_time": bench.get("real_time"),
+            "satisfied_per_second": bench.get("items_per_second"),
+            "find_per_satisfied": bench.get("find_per_satisfied"),
+            "distance_per_satisfied": bench.get("distance_per_satisfied"),
+            "resident_objects": bench.get("resident_objects"),
+            "resident_bytes": bench.get("resident_bytes"),
+            "hw_threads": bench.get("hw_threads"),
+        })
+    if not grid:
+        sys.exit("error: capture contains no BM_MultiObjectService/objects:*/"
+                 "shards:* runs (run bench/multi_object)")
+    grid.sort(key=lambda r: (r["objects"], r["shards"]))
+
+    # Normalized shard scaling: rate(S) / (rate(1) * min(S, hw_threads)) at
+    # the same object count. min(S, hw) is the honest linear-speedup
+    # denominator - extra shards beyond the core count pipeline, they do not
+    # parallelize.
+    one_shard = {r["objects"]: r["satisfied_per_second"]
+                 for r in grid if r["shards"] == 1}
+    for r in grid:
+        base_rate = one_shard.get(r["objects"])
+        hw = int(r["hw_threads"] or 1)
+        denom = min(r["shards"], max(hw, 1))
+        r["normalized_scaling"] = (
+            round(r["satisfied_per_second"] / (base_rate * denom), 3)
+            if base_rate and r["satisfied_per_second"] else None)
+
+    # Traffic flatness per shard leg: find_per_satisfied at the largest
+    # object count over the smallest (1.0 = perfectly independent objects).
+    shard_legs = sorted({r["shards"] for r in grid})
+    flatness = {}
+    for shards in shard_legs:
+        leg = [r for r in grid if r["shards"] == shards
+               and r["find_per_satisfied"]]
+        if len(leg) >= 2:
+            lo, hi = min(leg, key=lambda r: r["objects"]), \
+                max(leg, key=lambda r: r["objects"])
+            flatness[shards] = round(
+                hi["find_per_satisfied"] / lo["find_per_satisfied"], 3)
+
+    max_shards = max(shard_legs)
+    top = [r for r in grid if r["shards"] == max_shards
+           and r["normalized_scaling"] is not None]
+    headline_scaling = (max(top, key=lambda r: r["objects"])
+                        if top else None)
+    report = {
+        "schema": "arvy-multi-object-sweep/1",
+        "context": context_summary(context),
+        "grid": grid,
+        "headline": {
+            "max_objects": max(r["objects"] for r in grid),
+            "max_shards": max_shards,
+            "traffic_flatness_by_shards": flatness,
+            "normalized_scaling": (headline_scaling["normalized_scaling"]
+                                   if headline_scaling else None),
+        },
+    }
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    for r in grid:
+        scaling = (f"{r['normalized_scaling']:.3f}"
+                   if r["normalized_scaling"] is not None else "  n/a")
+        print(f"objects={r['objects']:>8}  shards={r['shards']}  "
+              f"satisfied/s={r['satisfied_per_second']:>12.0f}  "
+              f"find/satisfied={r['find_per_satisfied']:>6.2f}  "
+              f"scaling={scaling}")
+    for shards, ratio in sorted(flatness.items()):
+        print(f"traffic flatness @ shards={shards}: {ratio:.3f} "
+              "(1.0 = flat in object count)")
+
+    if baseline:
+        with open(baseline) as fh:
+            old = json.load(fh)
+        old_grid = {(r["objects"], r["shards"]): r
+                    for r in old.get("grid", [])}
+        failures = []
+        compared = 0
+        for r in grid:
+            o = old_grid.get((r["objects"], r["shards"]))
+            if o is None:
+                continue
+            point = f"objects={r['objects']}/shards={r['shards']}"
+            if o.get("find_per_satisfied") and r["find_per_satisfied"]:
+                compared += 1
+                ceiling = o["find_per_satisfied"] * (1.0 + max_regress)
+                if r["find_per_satisfied"] > ceiling:
+                    failures.append(
+                        f"{point}: find/satisfied "
+                        f"{r['find_per_satisfied']:.2f} > ceiling "
+                        f"{ceiling:.2f} (baseline "
+                        f"{o['find_per_satisfied']:.2f})")
+            if (o.get("normalized_scaling") and r["normalized_scaling"]
+                    and r["shards"] > 1):
+                compared += 1
+                floor = o["normalized_scaling"] * (1.0 - max_regress)
+                if r["normalized_scaling"] < floor:
+                    failures.append(
+                        f"{point}: normalized scaling "
+                        f"{r['normalized_scaling']:.3f} < floor {floor:.3f} "
+                        f"(baseline {o['normalized_scaling']:.3f})")
+        if compared == 0:
+            sys.exit("error: baseline shares no grid points with the capture")
+        verdict = "REGRESSION" if failures else "OK"
+        print(f"baseline gate ({compared} comparisons, max regress "
+              f"{max_regress:.0%}): {verdict}")
+        for failure in failures:
+            print(f"  {failure}")
+        if failures:
+            sys.exit(1)
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--before", nargs="+",
@@ -239,22 +405,27 @@ def main():
                         help="google-benchmark JSON from bench/runtime_throughput"
                              " (filter SatisfiedThroughput); writes the workers x"
                              " batch grid with the sim-vs-live ratio headline")
+    parser.add_argument("--multi-object-sweep", nargs="+", metavar="JSON",
+                        help="google-benchmark JSON from bench/multi_object;"
+                             " writes the objects x shards grid with traffic"
+                             " flatness and normalized shard scaling")
     parser.add_argument("--baseline", metavar="BENCH_JSON",
-                        help="previous --runtime-sweep report; fail if the"
-                             " live/sim headline regressed past --max-regress")
+                        help="previous sweep report of the same mode; fail if"
+                             " its gated ratios regressed past --max-regress")
     parser.add_argument("--max-regress", type=float, default=0.2,
-                        help="allowed fractional drop in the live/sim headline"
-                             " vs --baseline (default 0.2)")
+                        help="allowed fractional regression of the gated"
+                             " ratios vs --baseline (default 0.2)")
     parser.add_argument("--out", required=True, help="report path to write")
     args = parser.parse_args()
 
     exclusive = [bool(args.fault_sweep), bool(args.runtime_sweep),
-                 bool(args.before or args.after)]
+                 bool(args.multi_object_sweep), bool(args.before or args.after)]
     if sum(exclusive) > 1:
-        parser.error("--fault-sweep, --runtime-sweep and --before/--after are"
-                     " mutually exclusive")
-    if args.baseline and not args.runtime_sweep:
-        parser.error("--baseline requires --runtime-sweep")
+        parser.error("--fault-sweep, --runtime-sweep, --multi-object-sweep"
+                     " and --before/--after are mutually exclusive")
+    if args.baseline and not (args.runtime_sweep or args.multi_object_sweep):
+        parser.error("--baseline requires --runtime-sweep or"
+                     " --multi-object-sweep")
 
     if args.fault_sweep:
         fault_sweep_report(args.fault_sweep, args.out)
@@ -262,6 +433,10 @@ def main():
     if args.runtime_sweep:
         runtime_sweep_report(args.runtime_sweep, args.out,
                              args.baseline, args.max_regress)
+        return
+    if args.multi_object_sweep:
+        multi_object_sweep_report(args.multi_object_sweep, args.out,
+                                  args.baseline, args.max_regress)
         return
     if not args.before or not args.after:
         parser.error("--before and --after are required without --fault-sweep")

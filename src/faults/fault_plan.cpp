@@ -1,5 +1,6 @@
 #include "faults/fault_plan.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -57,6 +58,19 @@ bool FaultPlan::empty() const noexcept {
          reorder == 0.0 && storms.empty() && pauses.empty() && stalls.empty();
 }
 
+FaultPlan FaultPlan::for_shard(std::uint32_t shard) const {
+  if (!shards.empty() &&
+      std::find(shards.begin(), shards.end(), shard) == shards.end()) {
+    return {};
+  }
+  FaultPlan scoped = *this;
+  scoped.shards.clear();
+  // Golden-ratio mixing, shard+1 so shard 0 still decorrelates from the
+  // unscoped plan's own stream.
+  scoped.seed = seed ^ ((shard + 1ULL) * 0x9e3779b97f4a7c15ULL);
+  return scoped;
+}
+
 FaultPlan parse_fault_plan(const std::string& spec) {
   FaultPlan plan;
   if (spec.empty() || spec == "none") return plan;
@@ -99,6 +113,11 @@ FaultPlan parse_fault_plan(const std::string& spec) {
       plan.stalls.push_back(stall);
     } else if (key == "seed") {
       plan.seed = std::stoull(value);
+    } else if (key == "shards") {
+      if (parts.empty()) bad_spec(spec, "shards needs A[:B:...]");
+      for (const std::string& part : parts) {
+        plan.shards.push_back(static_cast<std::uint32_t>(std::stoul(part)));
+      }
     } else {
       bad_spec(spec, "unknown key '" + key + "'");
     }

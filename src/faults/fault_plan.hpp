@@ -84,8 +84,18 @@ struct FaultPlan {
   // Seed of the injector's own RNG stream (never the transport's, so an
   // active injector does not perturb delivery-order draws).
   std::uint64_t seed = 1;
+  // Shard scoping for the sharded DirectoryService: when non-empty, only the
+  // listed shards see this plan (for_shard returns the empty no-op plan for
+  // everyone else). Empty = every shard. Single-object transports ignore it.
+  std::vector<std::uint32_t> shards;
 
   [[nodiscard]] bool empty() const noexcept;
+
+  // The plan shard `shard` actually runs: the empty plan when the shard is
+  // scoped out, otherwise this plan with `shards` cleared and the seed
+  // decorrelated per shard (each shard engine owns an independent fault RNG
+  // stream, mirroring MultiDirectory's per-object seed spreading).
+  [[nodiscard]] FaultPlan for_shard(std::uint32_t shard) const;
 
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
@@ -115,6 +125,7 @@ struct RetryPolicy {
 //   pause=NODE:AT:DUR
 //   stall=AT:DUR
 //   seed=S
+//   shards=A[:B:...]   scope the plan to the listed service shards
 // Throws std::invalid_argument on malformed specs.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& spec);
 

@@ -30,6 +30,18 @@ void ArvyCore::initialize(NodeId parent, bool holds_token,
   initialized_ = true;
 }
 
+void ArvyCore::reinitialize(NodeId parent, bool holds_token,
+                            bool parent_edge_is_bridge) {
+  ARVY_EXPECTS((parent == id_) == holds_token);
+  parent_ = parent;
+  holds_token_ = holds_token;
+  parent_edge_is_bridge_ = parent_edge_is_bridge;
+  next_.reset();
+  outstanding_.reset();
+  token_serial_ = 0;
+  initialized_ = true;
+}
+
 Effects ArvyCore::request_token(RequestId request) {
   ARVY_EXPECTS(initialized_);
   ARVY_EXPECTS_MSG(!holds_token_, "requesting while holding the token");

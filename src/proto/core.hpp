@@ -40,6 +40,13 @@ class ArvyCore {
   // tree, the token at the root (parent == id), bridge flag per Algorithm 2.
   void initialize(NodeId parent, bool holds_token, bool parent_edge_is_bridge);
 
+  // Re-seats the core on a different object's parked state (the sharded
+  // DirectoryService swaps object trees through one engine). Same contract
+  // as initialize, but legal on an already-initialized core; resets every
+  // per-object field including the token serial.
+  void reinitialize(NodeId parent, bool holds_token,
+                    bool parent_edge_is_bridge);
+
   // Lines 1-4: RequestToken. Precondition: the node neither holds the token
   // nor has an outstanding request (the model's one-outstanding rule; the
   // engine queues duplicates instead, see SimEngine).

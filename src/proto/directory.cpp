@@ -1,6 +1,5 @@
 #include "proto/directory.hpp"
 
-#include <algorithm>
 #include <variant>
 
 #include "graph/spanning_tree.hpp"
@@ -42,13 +41,12 @@ proto::InitialConfig default_initial_config(const graph::Graph& g,
   return proto::from_tree(shortest_path_tree(g, metric.center));
 }
 
-std::unique_ptr<proto::NewParentPolicy> resolve_policy(
-    const DirectoryOptions& options) {
+std::unique_ptr<proto::NewParentPolicy> resolve_policy(const Options& options) {
   return proto::make_policy(options.policy, options.kback_k);
 }
 
 proto::InitialConfig resolve_initial_config(const graph::Graph& g,
-                                            const DirectoryOptions& options) {
+                                            const Options& options) {
   return options.initial.has_value()
              ? *options.initial
              : default_initial_config(g, options.policy);
@@ -173,56 +171,6 @@ void Directory::on_event(EventObserver observer) {
   }
   engine_->set_post_event_hook(
       [this](const proto::SimEngine&) { event_observer_(*this); });
-}
-
-MultiDirectory::MultiDirectory(const graph::Graph& g, std::size_t object_count,
-                               DirectoryOptions options) {
-  ARVY_EXPECTS(object_count >= 1);
-  instances_.reserve(object_count);
-  for (std::size_t i = 0; i < object_count; ++i) {
-    DirectoryOptions per_object = options;
-    // Decorrelate the per-object RNG streams; spread initial roots so the
-    // objects do not all start at the same node.
-    per_object.seed = options.seed + i * 0x9e3779b97f4a7c15ULL;
-    if (!per_object.initial.has_value()) {
-      proto::InitialConfig init = default_initial_config(g, options.policy);
-      if (options.policy != proto::PolicyKind::kBridge) {
-        const auto root =
-            static_cast<graph::NodeId>(i % g.node_count());
-        init = proto::from_tree(shortest_path_tree(g, root));
-      }
-      per_object.initial = std::move(init);
-    }
-    instances_.push_back(std::make_unique<Directory>(g, per_object));
-  }
-}
-
-proto::RequestId MultiDirectory::acquire(ObjectId object, graph::NodeId v) {
-  return instances_.at(object)->acquire(v);
-}
-
-void MultiDirectory::acquire_and_wait(ObjectId object, graph::NodeId v) {
-  instances_.at(object)->acquire_and_wait(v);
-}
-
-void MultiDirectory::run_all() {
-  for (auto& instance : instances_) instance->run();
-}
-
-Directory& MultiDirectory::object(ObjectId id) { return *instances_.at(id); }
-
-proto::CostAccount MultiDirectory::total_costs() const {
-  proto::CostAccount total;
-  for (const auto& instance : instances_) {
-    const proto::CostAccount& c = instance->costs();
-    total.find_distance += c.find_distance;
-    total.token_distance += c.token_distance;
-    total.find_messages += c.find_messages;
-    total.token_messages += c.token_messages;
-    total.max_visited_length =
-        std::max(total.max_visited_length, c.max_visited_length);
-  }
-  return total;
 }
 
 }  // namespace arvy

@@ -1,10 +1,11 @@
 // The public facade: a distributed directory over a network graph.
 //
 // This is the API a downstream user programs against. A Directory tracks one
-// shared object (token); a MultiDirectory runs several independent protocol
-// instances over the same network, one per object - exactly the paper's
+// shared object (token); the sharded multi-object facade is
+// arvy::DirectoryService (service/directory_service.hpp) - the paper's
 // "multiple independent instances of the distributed directory protocol in
-// parallel can be used to coordinate access to multiple data items" (§1).
+// parallel can be used to coordinate access to multiple data items" (§1) at
+// production object counts.
 //
 // Transports. The same facade contract (AnyDirectory) is served by two
 // engines: `Directory` runs the discrete-event simulator (deterministic,
@@ -29,23 +30,8 @@
 //       .retry = {.rto = 4.0, .backoff = 2.0},
 //   });
 //
-// DirectoryOptions field guide (all fields designated-init friendly):
-//   .policy      NewParent policy (Arrow, Ivy, ring bridge, ...).
-//   .kback_k     k for PolicyKind::kKBack only.
-//   .discipline  sim-only: delivery order (timed / fifo / lifo / random).
-//   .seed        master seed for delivery, policy tie-breaks and faults.
-//   .delay       sim-only: DelayModel for Discipline::kTimed (cloned;
-//                default distance-proportional). Shared_ptr so options stay
-//                copyable: `.delay = arvy::sim::make_uniform_delay(1, 5)`.
-//   .faults      declarative fault schedule (faults/fault_plan.hpp); the
-//                default empty plan is a strict no-op.
-//   .retry       retransmission policy re-driving dropped messages.
-//   .initial     initial tree; when unset the directory builds a
-//                shortest-path tree from the metrically central node, and
-//                for PolicyKind::kBridge on canonical rings the Algorithm 2
-//                split is used.
-//   .record_schedule  sim-only: record the delivery order for goldens and
-//                kScripted replay (read via inspect().bus().schedule()).
+// Every facade takes the same unified arvy::Options aggregate; the field
+// guide lives in proto/options.hpp.
 #pragma once
 
 #include <chrono>
@@ -57,29 +43,10 @@
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "proto/engine.hpp"
+#include "proto/options.hpp"
 #include "proto/policies.hpp"
 
 namespace arvy {
-
-struct DirectoryOptions {
-  proto::PolicyKind policy = proto::PolicyKind::kIvy;
-  std::size_t kback_k = 2;  // only for PolicyKind::kKBack
-  sim::Discipline discipline = sim::Discipline::kTimed;
-  std::uint64_t seed = 1;
-  // Shared so DirectoryOptions stays copyable; cloned into each engine.
-  std::shared_ptr<sim::DelayModel> delay;
-  faults::FaultPlan faults;
-  faults::RetryPolicy retry;
-  // Initial tree; when unset the directory builds a shortest-path tree from
-  // the metrically central node, a sensible topology-agnostic default. For
-  // PolicyKind::kBridge on canonical rings the Algorithm 2 split is used.
-  std::optional<proto::InitialConfig> initial;
-  // Sim-only: record the delivery order (message ids in delivery sequence).
-  // Read back via inspect().bus().schedule(); feed it to
-  // Discipline::kScripted to replay the exact run. The golden-schedule suite
-  // uses this to pin facade runs bit-for-bit across refactors.
-  bool record_schedule = false;
-};
 
 // One observed message delivery, transport-agnostic.
 struct MessageEvent {
@@ -177,25 +144,10 @@ class Directory final : public AnyDirectory {
 
   // Read-only inspection seam for the verifier and analysis layers
   // (verify::capture, analysis::measure_latency). Deliberately const: all
-  // mutation goes through the facade. LiveDirectory has no counterpart -
-  // portable code should stick to AnyDirectory + the observers above.
+  // mutation goes through the facade. The raw mutable engine() escape hatch
+  // that predated it is gone (PR 10) - its deprecation window closed; all
+  // mutation goes through the typed drivers and observer hooks above.
   [[nodiscard]] const proto::SimEngine& inspect() const noexcept {
-    return *engine_;
-  }
-
-  // The raw engine escape hatch is deprecated: it leaked every internal
-  // seam (bus mutation, hook clobbering) through the facade. Use the typed
-  // drivers and observer hooks above; for read-only access use inspect().
-  // The two ALLOWs below cover the definitions themselves (they must keep
-  // existing through the downstream migration window); every *use* outside
-  // test_directory_api's pinning test is a lint error (rule `deprecation`).
-  [[deprecated("use the Directory drivers/observers, or inspect() for "
-               "read-only access")]] [[nodiscard]] proto::SimEngine&
-  engine() noexcept {  // ARVY-LINT-ALLOW(deprecation): definition site
-    return *engine_;
-  }
-  [[deprecated("use inspect()")]] [[nodiscard]] const proto::SimEngine&
-  engine() const noexcept {  // ARVY-LINT-ALLOW(deprecation): definition site
     return *engine_;
   }
 
@@ -204,38 +156,14 @@ class Directory final : public AnyDirectory {
   EventObserver event_observer_;
 };
 
-// Several objects, each tracked by an independent Arvy instance over the
-// same network. Object ids are dense indices.
-class MultiDirectory {
- public:
-  using ObjectId = std::size_t;
-
-  MultiDirectory(const graph::Graph& g, std::size_t object_count,
-                 DirectoryOptions options = {});
-
-  proto::RequestId acquire(ObjectId object, graph::NodeId v);
-  void acquire_and_wait(ObjectId object, graph::NodeId v);
-  void run_all();
-
-  [[nodiscard]] std::size_t object_count() const noexcept {
-    return instances_.size();
-  }
-  [[nodiscard]] Directory& object(ObjectId id);
-  // Aggregate cost across all objects.
-  [[nodiscard]] proto::CostAccount total_costs() const;
-
- private:
-  std::vector<std::unique_ptr<Directory>> instances_;
-};
-
-// Builds the default initial configuration described in DirectoryOptions.
+// Builds the default initial configuration described in proto/options.hpp.
 [[nodiscard]] proto::InitialConfig default_initial_config(
     const graph::Graph& g, proto::PolicyKind policy);
 
-// Shared by Directory and LiveDirectory: policy + initial config resolution.
+// Shared by every facade: policy + initial config resolution.
 [[nodiscard]] std::unique_ptr<proto::NewParentPolicy> resolve_policy(
-    const DirectoryOptions& options);
+    const Options& options);
 [[nodiscard]] proto::InitialConfig resolve_initial_config(
-    const graph::Graph& g, const DirectoryOptions& options);
+    const graph::Graph& g, const Options& options);
 
 }  // namespace arvy

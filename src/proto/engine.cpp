@@ -170,6 +170,43 @@ void SimEngine::run_concurrent(std::span<const TimedRequest> requests) {
   run_until_idle();
 }
 
+bool SimEngine::park_state(InitialConfig& out) const {
+  ARVY_EXPECTS_MSG(bus_.idle(), "park_state requires a quiescent bus");
+  const std::size_t n = cores_.size();
+  out.parent.resize(n);
+  out.parent_edge_is_bridge.assign(n, false);
+  out.root = graph::kInvalidNode;
+  bool resumable = true;
+  for (NodeId v = 0; v < n; ++v) {
+    const ArvyCore& core = cores_[v];
+    out.parent[v] = core.parent();
+    out.parent_edge_is_bridge[v] = core.parent_edge_is_bridge();
+    if (core.holds_token()) out.root = v;
+    // A node still waiting on a permanently lost find has p(v) == v without
+    // the token - not a tree; the object must be re-seeded.
+    if (core.outstanding().has_value()) resumable = false;
+  }
+  return resumable && out.root != graph::kInvalidNode && out.is_valid_tree();
+}
+
+void SimEngine::adopt_state(const InitialConfig& next, std::uint64_t seed) {
+  ARVY_EXPECTS_MSG(bus_.idle(), "adopt_state requires a quiescent bus");
+  ARVY_EXPECTS(next.node_count() == cores_.size());
+  ARVY_EXPECTS_MSG(next.is_valid_tree(),
+                   "adopted parent pointers must form a rooted tree");
+  for (NodeId v = 0; v < cores_.size(); ++v) {
+    cores_[v].reinitialize(next.parent[v], v == next.root,
+                           next.parent_edge_is_bridge[v]);
+  }
+  for (auto& queue : queued_) queue.clear();
+  requests_.clear();
+  costs_ = {};
+  satisfied_count_ = 0;
+  // Same mixing as the constructor: adopting with the seed a standalone
+  // engine was constructed with replays its policy draws exactly.
+  policy_rng_ = support::Rng(seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
 std::size_t SimEngine::unsatisfied_count() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(requests_.begin(), requests_.end(), [](const auto& r) {

@@ -113,6 +113,28 @@ class SimEngine {
   using TimedRequest = proto::TimedRequest;
   void run_concurrent(std::span<const TimedRequest> requests);
 
+  // --- Object state swap (the DirectoryService shard seam) -----------------
+  // A shard engine is REUSED across the many objects it owns: the expensive
+  // per-engine state (distance oracle, bus, policy clone) is shard
+  // infrastructure, while the per-object protocol state (parent pointers,
+  // bridge flags, token position) is parked into a compact InitialConfig
+  // between bursts and adopted back before the next one.
+  //
+  // park_state snapshots the current tree into `out` (vectors reused, no
+  // shrink). Precondition: the bus is idle. Returns false when the parked
+  // state is NOT resumable - the token was permanently lost to fault
+  // injection or a request is still outstanding at some node - in which case
+  // the caller re-seats the object from its canonical initial tree (the
+  // documented crash-recovery semantics).
+  [[nodiscard]] bool park_state(InitialConfig& out) const;
+
+  // Re-seats every core on `next`, clears the request ledger and cost
+  // account, and reseeds the policy RNG stream with `seed` (same mixing as
+  // construction, so object 0 of a service run replays a standalone engine
+  // bit-for-bit). Bus time deliberately carries over: the clock is shard
+  // infrastructure. Precondition: the bus is idle.
+  void adopt_state(const InitialConfig& next, std::uint64_t seed);
+
   // --- Observers -----------------------------------------------------------
   [[nodiscard]] const CostAccount& costs() const noexcept { return costs_; }
   [[nodiscard]] const std::vector<RequestRecord>& requests() const noexcept {

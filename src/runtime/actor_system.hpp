@@ -74,6 +74,7 @@
 #include "graph/graph.hpp"
 #include "proto/core.hpp"
 #include "proto/init.hpp"
+#include "proto/options.hpp"
 #include "proto/policies.hpp"
 #include "proto/wire.hpp"
 #include "runtime/delayed_queue.hpp"
@@ -86,32 +87,12 @@ namespace arvy::runtime {
 
 using graph::NodeId;
 
-struct ActorOptions {
-  std::uint64_t seed = 1;
-  // Random sleep in [0, max_jitter] before each message send; 0 disables.
-  std::chrono::microseconds max_jitter{0};
-  // Process each drained batch in random order instead of arrival order:
-  // full asynchrony (the paper never assumes channel ordering).
-  bool reorder_mailboxes = false;
-  // Worker threads the actors are partitioned across (round-robin).
-  // 0 = one worker per node (the legacy thread-per-node shape, maximal
-  // scheduler interleaving); 1 = sequential+deterministic; a small fixed
-  // pool is the throughput configuration on real hardware.
-  std::size_t workers = 0;
-  // Max ring slots drained per actor visit; amortizes the wakeup handoff.
-  std::size_t batch_size = 16;
-  // Ring slots per actor (rounded up to a power of two). Bounded on purpose:
-  // overflow spills to the cold Mailbox valve, never blocks a worker.
-  std::size_t ring_capacity = 256;
-  // Declarative fault schedule; empty = strict no-op (no injector, no nurse
-  // thread, the send path is exactly the fault-free one).
-  faults::FaultPlan faults;
-  faults::RetryPolicy retry;
-  // Wall-time length of one sim-time unit for the fault schedule: backoffs,
-  // storm windows and pause windows are declared in sim time and scaled by
-  // this on the threaded transport.
-  std::chrono::microseconds fault_time_unit{200};
-};
+// The runtime reads the unified options surface (proto/options.hpp): seed,
+// max_jitter, reorder_mailboxes, workers, batch_size, ring_capacity, faults,
+// retry and fault_time_unit. The protocol-resolution fields (policy, initial,
+// sim discipline/delay) are the facade's job - ActorSystem takes the already
+// resolved policy and initial config as constructor arguments.
+using ActorOptions = arvy::Options;
 
 class ActorSystem {
  public:

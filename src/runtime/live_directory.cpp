@@ -4,22 +4,27 @@
 
 namespace arvy {
 
-LiveDirectory::LiveDirectory(const graph::Graph& g, DirectoryOptions options,
-                             LiveOptions live) {
+LiveDirectory::LiveDirectory(const graph::Graph& g, Options options) {
   const auto policy = resolve_policy(options);
   const proto::InitialConfig init = resolve_initial_config(g, options);
-  runtime::ActorSystem::Options actor_options;
-  actor_options.seed = options.seed;
-  actor_options.max_jitter = live.max_jitter;
-  actor_options.reorder_mailboxes = live.reorder_mailboxes;
-  actor_options.workers = live.workers;
-  actor_options.batch_size = live.batch_size;
-  actor_options.ring_capacity = live.ring_capacity;
-  actor_options.faults = options.faults;
-  actor_options.retry = options.retry;
-  actor_options.fault_time_unit = live.fault_time_unit;
-  system_ =
-      std::make_unique<runtime::ActorSystem>(g, init, *policy, actor_options);
+  system_ = std::make_unique<runtime::ActorSystem>(g, init, *policy,
+                                                   std::move(options));
+}
+
+LiveDirectory::LiveDirectory(const graph::Graph& g, Options options,
+                             LiveOptions live) {
+  // Legacy merge: transport knobs from the second struct override the
+  // (defaulted) ones in the first.
+  options.max_jitter = live.max_jitter;
+  options.reorder_mailboxes = live.reorder_mailboxes;
+  options.workers = live.workers;
+  options.batch_size = live.batch_size;
+  options.ring_capacity = live.ring_capacity;
+  options.fault_time_unit = live.fault_time_unit;
+  const auto policy = resolve_policy(options);
+  const proto::InitialConfig init = resolve_initial_config(g, options);
+  system_ = std::make_unique<runtime::ActorSystem>(g, init, *policy,
+                                                   std::move(options));
 }
 
 LiveDirectory::~LiveDirectory() { shutdown(); }

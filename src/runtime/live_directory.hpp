@@ -28,29 +28,16 @@
 
 namespace arvy {
 
-// Threaded-transport tuning knobs, orthogonal to the protocol options.
-struct LiveOptions {
-  // Random sender-side sleep in [0, max_jitter] per message; 0 disables.
-  std::chrono::microseconds max_jitter{0};
-  // Consume each drained ring batch in random order (full asynchrony).
-  bool reorder_mailboxes = false;
-  // Worker threads the node actors are partitioned across. 0 = one worker
-  // per node (legacy thread-per-node, maximal interleaving); 1 = sequential
-  // and deterministic for a fixed submission order; a small fixed pool is
-  // the throughput configuration.
-  std::size_t workers = 0;
-  // Max ring slots drained per actor visit (amortizes the wakeup handoff).
-  std::size_t batch_size = 16;
-  // Ring slots per actor's mailbox (rounded up to a power of two).
-  std::size_t ring_capacity = 256;
-  // Wall-time length of one sim-time unit for the fault schedule.
-  std::chrono::microseconds fault_time_unit{200};
-};
-
 class LiveDirectory final : public AnyDirectory {
  public:
-  explicit LiveDirectory(const graph::Graph& g, DirectoryOptions options = {},
-                         LiveOptions live = {});
+  // The unified Options carries both the protocol fields and the threaded
+  // transport knobs (max_jitter, workers, batch_size, ...); see
+  // proto/options.hpp for the field guide.
+  explicit LiveDirectory(const graph::Graph& g, Options options = {});
+  // Historical two-struct shape (kept for one release, like the LiveOptions
+  // alias itself): protocol fields come from `options`, transport knobs from
+  // `live`.
+  LiveDirectory(const graph::Graph& g, Options options, LiveOptions live);
   // Shuts the actor system down if the caller has not already.
   ~LiveDirectory() override;
 

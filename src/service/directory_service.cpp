@@ -1,0 +1,715 @@
+#include "service/directory_service.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <variant>
+
+#include "graph/spanning_tree.hpp"
+#include "proto/messages.hpp"
+#include "runtime/ring_mailbox.hpp"
+#include "support/assert.hpp"
+#include "verify/configuration.hpp"
+#include "verify/invariants.hpp"
+
+// Same note as runtime/actor_system.cpp: TSan cannot model standalone fences
+// (GCC diagnoses them under -fsanitize=thread). The two seq_cst fences here
+// only order the eventcount's flag checks against each other; every
+// cross-thread data transfer synchronizes through the ring slot sequence
+// words, and a missed wakeup is bounded by the 2 ms timed backstop.
+#if defined(__GNUC__) && !defined(__clang__) && defined(__SANITIZE_THREAD__)
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
+
+namespace arvy {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+void accumulate(faults::FaultStats& into, const faults::FaultStats& from) {
+  into.drops += from.drops;
+  into.retries += from.retries;
+  into.duplicates += from.duplicates;
+  into.permanent_losses += from.permanent_losses;
+  into.lost_finds += from.lost_finds;
+  into.lost_tokens += from.lost_tokens;
+  into.delays += from.delays;
+  into.overhead_distance += from.overhead_distance;
+}
+
+}  // namespace
+
+// One shard: a reusable engine plus the parked rows of every object it owns.
+//
+// Parked state is stored in chunked slabs (kChunk objects per chunk) rather
+// than one vector per object: at 1M objects a per-object std::vector would
+// pay 1M allocations and 24 bytes of header each; the slab pays one
+// allocation per 256 objects and stores exactly n parent words (plus a
+// bridge bitmask when the policy needs it) per object. Chunks materialize
+// lazily on first park, so a service with 1M registered but 10k touched
+// objects holds ~10k rows.
+struct DirectoryService::Shard {
+  static constexpr std::size_t kChunk = 256;  // objects per row chunk
+
+  std::uint32_t index = 0;
+  std::size_t nodes = 0;
+  bool bridges_tracked = false;
+
+  std::unique_ptr<proto::SimEngine> engine;
+
+  // Residency: dense local ids assigned at first touch (cold path).
+  std::unordered_map<ObjectId, std::uint32_t> local_of;
+  std::vector<ObjectId> owners;  // local id -> object id (check_sampled's pool)
+
+  struct Chunk {
+    std::unique_ptr<graph::NodeId[]> parents;   // kChunk rows of `nodes` each
+    std::unique_ptr<std::uint64_t[]> bridges;   // null unless bridges_tracked
+  };
+  std::vector<Chunk> rows;
+
+  // The object currently seated in the engine (nullopt right after start).
+  std::optional<ObjectId> current;
+  std::uint32_t current_local = 0;
+  proto::InitialConfig scratch;  // park/adopt shuttle, vectors reused
+
+  // Costs of every PARKED burst; engine->costs() holds the loaded object's.
+  proto::CostAccount committed;
+
+  // Cross-thread telemetry. The cost atomics are single-writer (the shard
+  // worker flushes after each request); the counters are monotone peeks.
+  std::atomic<double> find_cost{0.0};             // ARVY-ATOMIC(single-writer)
+  std::atomic<double> token_cost{0.0};            // ARVY-ATOMIC(single-writer)
+  std::atomic<std::uint64_t> find_messages{0};    // ARVY-ATOMIC(single-writer)
+  std::atomic<std::uint64_t> token_messages{0};   // ARVY-ATOMIC(single-writer)
+  std::atomic<std::uint64_t> max_visited{0};      // ARVY-ATOMIC(single-writer)
+  std::atomic<std::uint64_t> admitted{0};         // ARVY-ATOMIC(counter)
+  std::atomic<std::uint64_t> processed{0};        // ARVY-ATOMIC(counter)
+  std::atomic<std::uint64_t> satisfied{0};        // ARVY-ATOMIC(counter)
+  std::atomic<std::uint64_t> recoveries{0};       // ARVY-ATOMIC(counter)
+  std::atomic<std::uint64_t> resident{0};         // ARVY-ATOMIC(counter)
+
+  // Copied from the injector under the service stats mutex on each processed
+  // request, so fault_stats() never races the worker (see note_progress).
+  faults::FaultStats fault_snapshot;
+
+  // kLive: admission ring + pinned worker with an eventcount park (the same
+  // protocol as ActorSystem::Worker; see run_shard / maybe_wake).
+  std::optional<runtime::RingMailbox> ring;
+  std::thread thread;
+  enum Phase : std::uint32_t { kRunning = 0, kPreparing = 1, kNotified = 2 };
+  std::atomic<std::uint32_t> phase{kRunning};  // ARVY-ATOMIC(eventcount)
+  support::RankedMutex mutex{support::lock_rank::kWorker, "shard-worker"};
+  std::condition_variable_any cv;
+
+  [[nodiscard]] std::size_t bridge_words() const noexcept {
+    return (nodes + 63) / 64;
+  }
+  [[nodiscard]] std::size_t row_bytes() const noexcept {
+    return nodes * sizeof(graph::NodeId) +
+           (bridges_tracked ? bridge_words() * sizeof(std::uint64_t) : 0);
+  }
+
+  [[nodiscard]] const graph::NodeId* row_parents(std::uint32_t local) const {
+    const std::size_t chunk = local / kChunk;
+    ARVY_ASSERT(chunk < rows.size() && rows[chunk].parents);
+    return rows[chunk].parents.get() + (local % kChunk) * nodes;
+  }
+
+  void store_row(std::uint32_t local, const proto::InitialConfig& in) {
+    const std::size_t chunk = local / kChunk;
+    if (chunk >= rows.size()) rows.resize(chunk + 1);
+    Chunk& c = rows[chunk];
+    if (!c.parents) {
+      c.parents = std::make_unique<graph::NodeId[]>(kChunk * nodes);
+      if (bridges_tracked) {
+        c.bridges = std::make_unique<std::uint64_t[]>(kChunk * bridge_words());
+        std::memset(c.bridges.get(), 0,
+                    kChunk * bridge_words() * sizeof(std::uint64_t));
+      }
+    }
+    graph::NodeId* row = c.parents.get() + (local % kChunk) * nodes;
+    std::memcpy(row, in.parent.data(), nodes * sizeof(graph::NodeId));
+    if (bridges_tracked) {
+      std::uint64_t* bits = c.bridges.get() + (local % kChunk) * bridge_words();
+      std::memset(bits, 0, bridge_words() * sizeof(std::uint64_t));
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if (in.parent_edge_is_bridge[v]) bits[v / 64] |= 1ULL << (v % 64);
+      }
+    }
+  }
+
+  void load_row(std::uint32_t local, proto::InitialConfig& out) const {
+    const graph::NodeId* row = row_parents(local);
+    out.parent.assign(row, row + nodes);
+    out.parent_edge_is_bridge.assign(nodes, false);
+    out.root = graph::kInvalidNode;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      if (row[v] == static_cast<graph::NodeId>(v)) {
+        out.root = static_cast<graph::NodeId>(v);
+      }
+    }
+    if (bridges_tracked) {
+      const std::uint64_t* bits =
+          rows[local / kChunk].bridges.get() + (local % kChunk) * bridge_words();
+      for (std::size_t v = 0; v < nodes; ++v) {
+        if ((bits[v / 64] >> (v % 64)) & 1ULL) out.parent_edge_is_bridge[v] = true;
+      }
+    }
+    ARVY_ASSERT_MSG(out.root != graph::kInvalidNode,
+                    "parked row lost its root self-loop");
+  }
+};
+
+// --- construction ------------------------------------------------------------
+
+DirectoryService::DirectoryService(const graph::Graph& g,
+                                   std::size_t object_count,
+                                   std::size_t shard_count, Options options,
+                                   ServiceMode mode)
+    : graph_(&g),
+      options_(std::move(options)),
+      mode_(mode),
+      routing_(static_cast<std::uint32_t>(shard_count), options_.seed) {
+  ARVY_EXPECTS(shard_count >= 1);
+  ARVY_EXPECTS(g.node_count() >= 2);
+  policy_ = resolve_policy(options_);
+  track_bridges_ = options_.policy == proto::PolicyKind::kBridge;
+  build_canonical();
+  routing_.add_objects(object_count);
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(make_shard(static_cast<std::uint32_t>(s)));
+  }
+}
+
+DirectoryService::~DirectoryService() {
+  if (!is_shut_down()) shutdown();
+}
+
+void DirectoryService::build_canonical() {
+  // Slot 0 is exactly what a standalone Directory would resolve (respecting
+  // Options::initial), so object 0 of a service run replays a Directory run
+  // bit-for-bit. Further slots spread roots across the graph the way
+  // MultiDirectory spread its per-object trees, capped so canonical memory
+  // stays at roots x nodes, independent of the object count.
+  canonical_.push_back(resolve_initial_config(*graph_, options_));
+  if (options_.initial.has_value() ||
+      options_.policy == proto::PolicyKind::kBridge) {
+    return;  // one authoritative tree (Algorithm 2's split fixes the root)
+  }
+  const std::size_t n = graph_->node_count();
+  const std::size_t roots = std::min(n, kMaxCanonicalRoots);
+  for (std::size_t j = 1; j < roots; ++j) {
+    const auto root = static_cast<graph::NodeId>((j * n) / roots);
+    canonical_.push_back(proto::from_tree(shortest_path_tree(*graph_, root)));
+  }
+}
+
+std::unique_ptr<DirectoryService::Shard> DirectoryService::make_shard(
+    std::uint32_t index) {
+  auto shard = std::make_unique<Shard>();
+  shard->index = index;
+  shard->nodes = graph_->node_count();
+  shard->bridges_tracked = track_bridges_;
+
+  proto::SimEngine::Options engine_options;
+  engine_options.discipline = options_.discipline;
+  if (options_.delay) engine_options.delay = options_.delay->clone();
+  engine_options.seed = options_.seed;
+  engine_options.faults = options_.faults.for_shard(index);
+  engine_options.retry = options_.retry;
+  engine_options.record_schedule = options_.record_schedule;
+  shard->engine = std::make_unique<proto::SimEngine>(
+      *graph_, canonical_[0], *policy_, std::move(engine_options));
+
+  Shard* raw = shard.get();
+  // Always installed: the hook is also the satisfied counter. The observer
+  // branch is dead until on_satisfied is called (pre-acquire, see header).
+  shard->engine->set_satisfied_hook(
+      [this, raw](const proto::RequestRecord& record) {
+        raw->satisfied.fetch_add(1, std::memory_order_relaxed);
+        if (satisfied_observer_) {
+          satisfied_observer_(raw->current.value_or(0), record);
+        }
+      });
+  if (message_observer_) install_message_hook(*raw);  // add_shards after hookup
+
+  if (mode_ == ServiceMode::kLive) {
+    shard->ring.emplace(options_.ring_capacity, sizeof(service::ObjectRequest));
+    shard->thread = std::thread([this, raw] { run_shard(*raw); });
+  }
+  return shard;
+}
+
+// --- facade ------------------------------------------------------------------
+
+std::size_t DirectoryService::node_count() const noexcept {
+  return graph_->node_count();
+}
+
+std::size_t DirectoryService::object_count() const {
+  return routing_.object_count();
+}
+
+std::size_t DirectoryService::shard_count() const noexcept {
+  return shards_.size();
+}
+
+std::uint64_t DirectoryService::acquire(ObjectId object, graph::NodeId node) {
+  ARVY_EXPECTS_MSG(!is_shut_down(), "acquire after shutdown");
+  ARVY_EXPECTS(node < graph_->node_count());
+  Shard& shard = *shards_[routing_.lookup(object)];
+  const std::uint64_t ticket =
+      submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  shard.admitted.fetch_add(1, std::memory_order_relaxed);
+  if (mode_ == ServiceMode::kSim) {
+    process_request(shard, object, node);
+  } else {
+    enqueue(shard, service::ObjectRequest{object, node, 0});
+  }
+  return ticket;
+}
+
+std::uint64_t DirectoryService::submit_batch(
+    std::span<const service::ObjectRequest> batch) {
+  ARVY_EXPECTS_MSG(!is_shut_down(), "submit_batch after shutdown");
+  const std::uint64_t base =
+      submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  for (const service::ObjectRequest& request : batch) {
+    Shard& shard = *shards_[routing_.lookup(request.object)];
+    shard.admitted.fetch_add(1, std::memory_order_relaxed);
+    if (mode_ == ServiceMode::kSim) {
+      process_request(shard, request.object, request.node);
+    } else {
+      enqueue(shard, request);
+    }
+  }
+  return base + batch.size();
+}
+
+void DirectoryService::acquire_and_wait(ObjectId object, graph::NodeId node) {
+  Shard& shard = *shards_[routing_.lookup(object)];
+  acquire(object, node);
+  if (mode_ == ServiceMode::kSim) return;  // processed inline
+  // The ring is FIFO and our frame is fully pushed, so its ring position is
+  // at most the admission count read AFTER the push completes; once the
+  // shard has processed that many frames, ours is among them.
+  const std::uint64_t target = shard.admitted.load(std::memory_order_relaxed);
+  std::unique_lock<support::RankedMutex> lock(stats_mutex_);
+  progress_cv_.wait(lock, [&shard, target] {
+    return shard.processed.load(std::memory_order_relaxed) >= target;
+  });
+}
+
+bool DirectoryService::drain(std::chrono::milliseconds budget) {
+  // Relaxed: the counter only names a target; every ordering the waiter
+  // needs comes from the stats mutex the predicate runs under.
+  const std::uint64_t target = submitted_.load(std::memory_order_relaxed);
+  if (mode_ == ServiceMode::kSim) return satisfied_count() >= target;
+  bool processed_all = false;
+  {
+    std::unique_lock<support::RankedMutex> lock(stats_mutex_);
+    processed_all = progress_cv_.wait_for(lock, budget, [this, target] {
+      std::uint64_t processed = 0;
+      for (const auto& shard : shards_) {
+        processed += shard->processed.load(std::memory_order_relaxed);
+      }
+      return processed >= target;
+    });
+  }
+  return processed_all && satisfied_count() >= target;
+}
+
+std::uint64_t DirectoryService::submitted_count() const noexcept {
+  return submitted_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t DirectoryService::satisfied_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->satisfied.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t DirectoryService::processed_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->processed.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+proto::CostAccount DirectoryService::cost_snapshot() const {
+  proto::CostAccount account;
+  for (const auto& shard : shards_) {
+    account.find_distance += shard->find_cost.load(std::memory_order_relaxed);
+    account.token_distance += shard->token_cost.load(std::memory_order_relaxed);
+    account.find_messages +=
+        shard->find_messages.load(std::memory_order_relaxed);
+    account.token_messages +=
+        shard->token_messages.load(std::memory_order_relaxed);
+    account.max_visited_length = std::max(
+        account.max_visited_length,
+        static_cast<std::size_t>(
+            shard->max_visited.load(std::memory_order_relaxed)));
+  }
+  return account;
+}
+
+faults::FaultStats DirectoryService::shard_fault_stats(
+    std::size_t shard_index) const {
+  ARVY_EXPECTS(shard_index < shards_.size());
+  const Shard& shard = *shards_[shard_index];
+  if (mode_ == ServiceMode::kSim || is_shut_down()) {
+    if (const faults::FaultInjector* injector = shard.engine->injector()) {
+      return injector->stats();
+    }
+    return {};
+  }
+  std::lock_guard<support::RankedMutex> lock(stats_mutex_);
+  return shard.fault_snapshot;
+}
+
+faults::FaultStats DirectoryService::fault_stats() const {
+  faults::FaultStats total;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    accumulate(total, shard_fault_stats(s));
+  }
+  return total;
+}
+
+std::uint64_t DirectoryService::recovery_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->recoveries.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- observers ---------------------------------------------------------------
+
+void DirectoryService::on_message(MessageObserver observer) {
+  message_observer_ = std::move(observer);
+  for (auto& shard : shards_) install_message_hook(*shard);
+}
+
+void DirectoryService::on_satisfied(SatisfiedObserver observer) {
+  // The per-shard satisfied hook (installed at construction) consults this
+  // slot on every satisfaction; nothing to re-install.
+  satisfied_observer_ = std::move(observer);
+}
+
+void DirectoryService::install_message_hook(Shard& shard) {
+  if (!message_observer_) {
+    shard.engine->set_message_hook(nullptr);
+    return;
+  }
+  Shard* raw = &shard;
+  shard.engine->set_message_hook(
+      [this, raw](const sim::MessageBus<proto::Message>::InFlight& entry) {
+        MessageEvent event;
+        event.from = entry.from;
+        event.to = entry.to;
+        event.at = entry.deliver_at;
+        event.distance = entry.distance;
+        if (const auto* find =
+                std::get_if<proto::FindMessage>(&entry.payload)) {
+          event.is_find = true;
+          event.request = find->request;
+        }
+        message_observer_(raw->current.value_or(0), event);
+      });
+}
+
+// --- control plane -----------------------------------------------------------
+
+void DirectoryService::add_objects(std::size_t count) {
+  ARVY_EXPECTS_MSG(!is_shut_down(), "add_objects after shutdown");
+  routing_.add_objects(count);
+}
+
+void DirectoryService::add_shards(std::size_t count) {
+  ARVY_EXPECTS_MSG(mode_ == ServiceMode::kSim,
+                   "add_shards is kSim-only; size the live pool up front");
+  ARVY_EXPECTS(count >= 1);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(make_shard(static_cast<std::uint32_t>(shards_.size())));
+  }
+  // Publish only after the shards exist: a concurrent lookup of a new
+  // object must never route to an unconstructed shard.
+  routing_.add_shards(static_cast<std::uint32_t>(count));
+}
+
+std::uint64_t DirectoryService::routing_epoch() const {
+  return routing_.epoch();
+}
+
+// --- inspection --------------------------------------------------------------
+
+const proto::InitialConfig& DirectoryService::canonical_config(
+    ObjectId object) const {
+  return canonical_[object % canonical_.size()];
+}
+
+std::uint64_t DirectoryService::object_seed(ObjectId object) const noexcept {
+  // MultiDirectory's per-object stream: object 0 replays a standalone
+  // Directory with the same seed.
+  return options_.seed + object * kGolden;
+}
+
+std::optional<graph::NodeId> DirectoryService::holder(ObjectId object) const {
+  ARVY_EXPECTS_MSG(mode_ == ServiceMode::kSim || is_shut_down(),
+                   "holders may only be inspected when quiescent (kSim) or "
+                   "after shutdown (kLive)");
+  const Shard& shard = *shards_[routing_.lookup(object)];
+  if (shard.current == object) return shard.engine->token_holder();
+  const auto it = shard.local_of.find(object);
+  if (it == shard.local_of.end()) return canonical_config(object).root;
+  const graph::NodeId* row = shard.row_parents(it->second);
+  for (std::size_t v = 0; v < shard.nodes; ++v) {
+    if (row[v] == static_cast<graph::NodeId>(v)) {
+      return static_cast<graph::NodeId>(v);
+    }
+  }
+  return std::nullopt;  // unreachable: parked rows always keep a root
+}
+
+ServiceCheckReport DirectoryService::check_sampled(std::size_t per_shard,
+                                                   std::uint64_t seed) {
+  ARVY_EXPECTS_MSG(mode_ == ServiceMode::kSim || is_shut_down(),
+                   "check_sampled needs a quiescent service");
+  ServiceCheckReport report;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (shard.owners.empty() && !shard.current.has_value()) continue;
+    support::Rng rng(seed ^ ((shard.index + 1ULL) * kGolden));
+    const std::size_t count = std::min(per_shard, shard.owners.size());
+    for (std::size_t k = 0; k < count; ++k) {
+      const ObjectId object = shard.owners[rng.next_below(shard.owners.size())];
+      switch_object(shard, object);
+      const verify::Configuration cfg = verify::capture(*shard.engine);
+      const verify::CheckResult result = verify::check_all(cfg);
+      ++report.objects_checked;
+      if (!result.ok) {
+        ++report.failures;
+        if (report.first_failure.empty()) {
+          report.first_failure =
+              "object " + std::to_string(object) + ": " + result.detail;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::size_t DirectoryService::resident_objects() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += static_cast<std::size_t>(
+        shard->resident.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::size_t DirectoryService::resident_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += static_cast<std::size_t>(
+                 shard->resident.load(std::memory_order_relaxed)) *
+             shard->row_bytes();
+  }
+  return total;
+}
+
+// --- shutdown ----------------------------------------------------------------
+
+void DirectoryService::shutdown() {
+  if (is_shut_down()) return;
+  if (mode_ == ServiceMode::kLive) {
+    // Same order as ActorSystem::shutdown: raise the flag, close admission,
+    // wake everyone (a parked worker observes stopping_ through wake_slow's
+    // mutex handoff), then join. Workers drain every published frame before
+    // leaving, so a quiescent shutdown loses nothing.
+    stopping_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      if (shard->ring) shard->ring->close();
+    }
+    for (auto& shard : shards_) wake_slow(*shard);
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+  // Publish only after every join: holder()/check_sampled rely on the joins'
+  // happens-before edges the moment this flag reads true.
+  shut_down_.store(true, std::memory_order_release);
+}
+
+// --- admission hot path ------------------------------------------------------
+
+ARVY_HOT void DirectoryService::enqueue(Shard& shard,
+                                        const service::ObjectRequest& request) {
+  // Blocking push: a full ring is bounded-buffer backpressure on the
+  // submitter. False only when the ring is closed, i.e. acquire raced
+  // shutdown - a caller contract violation.
+  const bool pushed = shard.ring->push([&request](std::byte* slot) {
+    std::memcpy(slot, &request, sizeof(request));
+  });
+  ARVY_ASSERT_MSG(pushed, "acquire raced shutdown");
+  maybe_wake(shard);
+}
+
+ARVY_HOT void DirectoryService::maybe_wake(Shard& shard) {
+  // Publish-then-check side of the eventcount: the fence orders this
+  // thread's frame publish before the phase read, pairing with the worker's
+  // seq_cst kPreparing store before its re-scan (Dekker).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.phase.load(std::memory_order_relaxed) != Shard::kRunning) {
+    wake_slow(shard);
+  }
+}
+
+ARVY_COLD void DirectoryService::wake_slow(Shard& shard) {
+  {
+    std::lock_guard<support::RankedMutex> lock(shard.mutex);
+    shard.phase.store(Shard::kNotified, std::memory_order_relaxed);
+  }
+  shard.cv.notify_one();
+}
+
+// --- shard worker ------------------------------------------------------------
+
+void DirectoryService::run_shard(Shard& shard) {
+  for (;;) {
+    if (drain_ring(shard)) continue;
+
+    // Eventcount park (the ActorSystem::run_worker protocol): announce
+    // intent with a seq_cst store, re-scan, and only then wait. A producer
+    // that published after the re-scan began observes kPreparing past its
+    // own fence and takes wake_slow; one that published before is caught by
+    // the re-scan. The timed wait is a backstop, not a correctness need.
+    shard.phase.store(Shard::kPreparing, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (shard.ring->has_ready()) {
+      shard.phase.store(Shard::kRunning, std::memory_order_relaxed);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      shard.phase.store(Shard::kRunning, std::memory_order_relaxed);
+      return;  // ring drained and the service is stopping
+    }
+    {
+      std::unique_lock<support::RankedMutex> lock(shard.mutex);
+      if (shard.phase.load(std::memory_order_relaxed) == Shard::kPreparing &&
+          !stopping_.load(std::memory_order_acquire)) {
+        shard.cv.wait_for(lock, std::chrono::milliseconds(2));
+      }
+    }
+    shard.phase.store(Shard::kRunning, std::memory_order_relaxed);
+  }
+}
+
+bool DirectoryService::drain_ring(Shard& shard) {
+  const std::size_t batch = shard.ring->acquire_batch(options_.batch_size);
+  if (batch == 0) return false;
+  for (std::size_t k = 0; k < batch; ++k) {
+    service::ObjectRequest request;
+    std::memcpy(&request, shard.ring->batch_slot(k), sizeof(request));
+    process_request(shard, request.object, request.node);
+  }
+  shard.ring->release_batch(batch);
+  return true;
+}
+
+void DirectoryService::process_request(Shard& shard, ObjectId object,
+                                       graph::NodeId node) {
+  switch_object(shard, object);
+  // submit_queued, not submit: a second request at a node whose first is
+  // still outstanding (possible under faults, or bursty per-object traffic)
+  // parks behind it and is satisfied by the same token visit (§3's remark).
+  shard.engine->submit_queued(node);
+  shard.engine->run_until_idle();
+  flush_costs(shard);
+  note_progress(shard);
+}
+
+void DirectoryService::switch_object(Shard& shard, ObjectId object) {
+  if (shard.current == object) return;
+  park_loaded(shard);
+  const auto [it, inserted] = shard.local_of.try_emplace(
+      object, static_cast<std::uint32_t>(shard.owners.size()));
+  if (inserted) {
+    shard.owners.push_back(object);
+    shard.resident.fetch_add(1, std::memory_order_relaxed);
+    shard.engine->adopt_state(canonical_config(object), object_seed(object));
+  } else {
+    shard.load_row(it->second, shard.scratch);
+    shard.engine->adopt_state(shard.scratch, object_seed(object));
+  }
+  shard.current = object;
+  shard.current_local = it->second;
+}
+
+ARVY_COLD void DirectoryService::park_loaded(Shard& shard) {
+  if (!shard.current.has_value()) return;
+  const proto::CostAccount& costs = shard.engine->costs();
+  shard.committed.find_distance += costs.find_distance;
+  shard.committed.token_distance += costs.token_distance;
+  shard.committed.find_messages += costs.find_messages;
+  shard.committed.token_messages += costs.token_messages;
+  shard.committed.max_visited_length =
+      std::max(shard.committed.max_visited_length, costs.max_visited_length);
+  if (shard.engine->park_state(shard.scratch)) {
+    shard.store_row(shard.current_local, shard.scratch);
+  } else {
+    // The token was permanently lost to fault injection (or a find is in
+    // limbo): the documented crash-recovery semantics re-seat the object on
+    // its canonical initial tree.
+    shard.store_row(shard.current_local, canonical_config(*shard.current));
+    shard.recoveries.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.current.reset();
+}
+
+void DirectoryService::flush_costs(Shard& shard) {
+  // Single-writer commit (this shard's worker): committed covers parked
+  // bursts, the engine account covers the loaded object since adoption.
+  const proto::CostAccount& costs = shard.engine->costs();
+  shard.find_cost.store(shard.committed.find_distance + costs.find_distance,
+                        std::memory_order_relaxed);
+  shard.token_cost.store(shard.committed.token_distance + costs.token_distance,
+                         std::memory_order_relaxed);
+  shard.find_messages.store(
+      shard.committed.find_messages + costs.find_messages,
+      std::memory_order_relaxed);
+  shard.token_messages.store(
+      shard.committed.token_messages + costs.token_messages,
+      std::memory_order_relaxed);
+  const auto visited = static_cast<std::uint64_t>(std::max(
+      shard.committed.max_visited_length, costs.max_visited_length));
+  if (visited > shard.max_visited.load(std::memory_order_relaxed)) {
+    shard.max_visited.store(visited, std::memory_order_relaxed);
+  }
+}
+
+ARVY_COLD void DirectoryService::note_progress(Shard& shard) {
+  {
+    // The mutex, not the atomicity, makes the CV protocol sound: a waiter
+    // evaluates its predicate under stats_mutex_, so this increment either
+    // happens-before the check or lands after the waiter parked, in which
+    // case notify_all wakes it (same argument as ActorSystem's
+    // note_satisfied).
+    std::lock_guard<support::RankedMutex> lock(stats_mutex_);
+    shard.processed.fetch_add(1, std::memory_order_relaxed);
+    if (const faults::FaultInjector* injector = shard.engine->injector()) {
+      shard.fault_snapshot = injector->stats();
+    }
+  }
+  progress_cv_.notify_all();
+}
+
+}  // namespace arvy

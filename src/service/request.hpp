@@ -1,0 +1,30 @@
+// The admission frame of the sharded DirectoryService.
+//
+// One (object, node) acquire crosses the control-plane -> shard boundary as
+// exactly this struct, memcpy'd into a claimed RingMailbox slot and read in
+// place by the owning shard worker. Listed in docs/layers.toml [msgpod]: the
+// flat POD shape is what makes batched admission allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "graph/graph.hpp"
+
+namespace arvy::service {
+
+// Dense object index into the service's routing table.
+using ObjectId = std::uint64_t;
+
+struct ObjectRequest {
+  ObjectId object = 0;
+  graph::NodeId node = graph::kInvalidNode;
+  std::uint32_t reserved = 0;  // pad to 16 bytes; keeps the slot stride fixed
+};
+
+static_assert(std::is_trivially_copyable_v<ObjectRequest>,
+              "ObjectRequest crosses shard rings as raw bytes");
+static_assert(sizeof(ObjectRequest) == 16,
+              "ring slot stride is sized to this frame");
+
+}  // namespace arvy::service

@@ -1,0 +1,65 @@
+#include "service/routing.hpp"
+
+namespace arvy::service {
+
+namespace {
+
+// splitmix64 finalizer: object ids are dense, so the placement hash must
+// decorrelate neighbouring ids or consecutive objects would stripe shards
+// in lockstep with every workload's iteration order.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(std::uint32_t shard_count, std::uint64_t seed)
+    : seed_(seed) {
+  ARVY_EXPECTS(shard_count >= 1);
+  auto initial = std::make_unique<Snapshot>();
+  initial->epoch = 1;
+  initial->shard_count = shard_count;
+  current_.store(initial.get(), std::memory_order_release);
+  snapshots_.push_back(std::move(initial));
+}
+
+RoutingTable::~RoutingTable() = default;
+
+void RoutingTable::add_objects(std::size_t count) {
+  const Snapshot& old = *snapshots_.back();
+  auto next = std::make_unique<Snapshot>();
+  next->epoch = old.epoch + 1;
+  next->shard_count = old.shard_count;
+  next->shard_of.reserve(old.shard_of.size() + count);
+  next->shard_of = old.shard_of;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto object = static_cast<ObjectId>(old.shard_of.size() + i);
+    next->shard_of.push_back(
+        static_cast<std::uint32_t>(mix(object ^ seed_) % next->shard_count));
+  }
+  publish(std::move(next));
+}
+
+void RoutingTable::add_shards(std::uint32_t count) {
+  ARVY_EXPECTS(count >= 1);
+  const Snapshot& old = *snapshots_.back();
+  auto next = std::make_unique<Snapshot>();
+  next->epoch = old.epoch + 1;
+  next->shard_count = old.shard_count + count;
+  next->shard_of = old.shard_of;  // existing placements are immutable
+  publish(std::move(next));
+}
+
+void RoutingTable::publish(std::unique_ptr<Snapshot> next) {
+  // Store-release pairs with the data plane's load-acquire: a reader that
+  // sees the new pointer sees every element written above. The superseded
+  // snapshot stays alive in snapshots_, so in-flight readers of the OLD
+  // pointer are safe too.
+  current_.store(next.get(), std::memory_order_release);
+  snapshots_.push_back(std::move(next));
+}
+
+}  // namespace arvy::service

@@ -1,0 +1,99 @@
+// The object -> shard routing table: the service's lock-free data plane.
+//
+// Concury-style control-plane / data-plane split (ROADMAP item 1): a SINGLE
+// control-plane writer grows the table (add_objects, add_shards) by building
+// an immutable Snapshot and publishing it with one store-release of the
+// snapshot pointer; MANY data-plane readers (request admission on any thread,
+// shard workers re-resolving frames) do one load-acquire and index a plain
+// vector. No locks, no CAS loops, no per-lookup allocation - the read path
+// is two dependent loads.
+//
+// Reclamation: superseded snapshots are retired to a control-plane list and
+// freed only at destruction. A reader can therefore never observe a dangling
+// snapshot without hazard-pointer machinery; the cost is bounded by the
+// number of control-plane growth operations (not by traffic), which is the
+// right trade for a table that grows rarely and is read millions of times.
+//
+// Stability contract: an object's shard assignment NEVER changes once
+// published. add_shards only widens the hash range for objects registered
+// afterwards, so parked per-object protocol state never has to migrate
+// between shard engines (tested by test_routing_table.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/request.hpp"
+#include "support/assert.hpp"
+#include "support/hot.hpp"
+
+namespace arvy::service {
+
+class RoutingTable {
+ public:
+  // `shard_count` >= 1; `seed` perturbs the placement hash so two services
+  // over the same object ids need not co-locate hot objects.
+  explicit RoutingTable(std::uint32_t shard_count, std::uint64_t seed = 1);
+  ~RoutingTable();
+
+  RoutingTable(const RoutingTable&) = delete;
+  RoutingTable& operator=(const RoutingTable&) = delete;
+
+  // --- data plane (any thread, lock-free) -----------------------------------
+
+  // The shard owning `object`. Precondition: the object is registered.
+  [[nodiscard]] ARVY_HOT std::uint32_t lookup(ObjectId object) const {
+    const Snapshot* snap = current_.load(std::memory_order_acquire);
+    ARVY_ASSERT_MSG(object < snap->shard_of.size(),
+                    "lookup of an unregistered object");
+    return snap->shard_of[object];
+  }
+
+  [[nodiscard]] ARVY_HOT bool contains(ObjectId object) const {
+    return object < current_.load(std::memory_order_acquire)->shard_of.size();
+  }
+
+  // Registered objects / shard width of the current snapshot. Like every
+  // read, exact-at-some-moment under concurrent control-plane growth.
+  [[nodiscard]] std::size_t object_count() const {
+    return current_.load(std::memory_order_acquire)->shard_of.size();
+  }
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return current_.load(std::memory_order_acquire)->shard_count;
+  }
+  // Monotone publication counter; bumps once per control-plane operation.
+  [[nodiscard]] std::uint64_t epoch() const {
+    return current_.load(std::memory_order_acquire)->epoch;
+  }
+
+  // --- control plane (single writer) ----------------------------------------
+
+  // Registers `count` new objects with dense ids starting at object_count(),
+  // hashed over the CURRENT shard width. Publishes one new snapshot.
+  void add_objects(std::size_t count);
+
+  // Widens the table by `count` shards. Existing assignments are untouched
+  // (see the stability contract above). Publishes one new snapshot.
+  void add_shards(std::uint32_t count);
+
+ private:
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::uint32_t shard_count = 0;
+    std::vector<std::uint32_t> shard_of;  // dense object id -> shard
+  };
+
+  void publish(std::unique_ptr<Snapshot> next);
+
+  // The one mutable word of the data plane. Single control-plane writer
+  // (store-release publishes the fully built snapshot); readers load-acquire
+  // and only ever dereference immutable memory.
+  std::atomic<const Snapshot*> current_;  // ARVY-ATOMIC(single-writer)
+  // Every snapshot ever published, in epoch order; freed at destruction.
+  std::vector<std::unique_ptr<Snapshot>> snapshots_;
+  std::uint64_t seed_;
+};
+
+}  // namespace arvy::service

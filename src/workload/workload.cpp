@@ -22,19 +22,24 @@ std::vector<NodeId> uniform_sequence(std::size_t node_count,
   return out;
 }
 
+ZipfNodeSampler::ZipfNodeSampler(std::size_t count, double alpha,
+                                 support::Rng& rng)
+    : sampler_(count, alpha), relabel_(count) {
+  ARVY_EXPECTS(count >= 1);
+  // Shuffle rank -> identity so popularity is independent of the labelling
+  // (node ids often encode position in generated topologies).
+  std::iota(relabel_.begin(), relabel_.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(relabel_));
+}
+
 std::vector<NodeId> zipf_sequence(std::size_t node_count, std::size_t length,
                                   double alpha, support::Rng& rng) {
   ARVY_EXPECTS(node_count >= 2);
-  support::ZipfSampler sampler(node_count, alpha);
-  // Shuffle rank -> node so popularity is independent of the labelling
-  // (node ids often encode position in generated topologies).
-  std::vector<NodeId> relabel(node_count);
-  std::iota(relabel.begin(), relabel.end(), NodeId{0});
-  rng.shuffle(std::span<NodeId>(relabel));
+  const ZipfNodeSampler sampler(node_count, alpha, rng);
   std::vector<NodeId> out;
   out.reserve(length);
   while (out.size() < length) {
-    const NodeId v = relabel[sampler.sample(rng)];
+    const NodeId v = sampler.sample(rng);
     if (!out.empty() && out.back() == v) continue;
     out.push_back(v);
   }

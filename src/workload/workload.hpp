@@ -23,8 +23,35 @@ using graph::NodeId;
                                                    support::Rng& rng,
                                                    bool avoid_repeats = true);
 
+// Reusable Zipf hotspot sampler: builds the popularity CDF and the
+// rank -> identity shuffle ONCE, then every draw is an O(log n) lookup.
+// This is what per-request workload loops should hold on to - the old
+// pattern of calling zipf_sequence(n, 1, ...) per request rebuilt both per
+// draw (the bench/multi_object.cpp allocation bug this class fixes).
+// Identities are shuffled so the hot ranks are not metrically adjacent.
+class ZipfNodeSampler {
+ public:
+  // `rng` only seeds the one-time shuffle; draws take their own stream.
+  ZipfNodeSampler(std::size_t count, double alpha, support::Rng& rng);
+
+  // Zipf-ranked identity in [0, count): as a node id or as a raw index
+  // (object ids and other non-node domains). Allocation-free.
+  [[nodiscard]] NodeId sample(support::Rng& rng) const {
+    return static_cast<NodeId>(sample_index(rng));
+  }
+  [[nodiscard]] std::size_t sample_index(support::Rng& rng) const {
+    return relabel_[sampler_.sample(rng)];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return relabel_.size(); }
+
+ private:
+  support::ZipfSampler sampler_;
+  std::vector<std::size_t> relabel_;  // rank -> identity
+};
+
 // Zipf-distributed node popularity with exponent alpha (hotspot traffic);
 // node identities are shuffled so the hot nodes are not metrically adjacent.
+// One-shot convenience over ZipfNodeSampler.
 [[nodiscard]] std::vector<NodeId> zipf_sequence(std::size_t node_count,
                                                 std::size_t length,
                                                 double alpha,

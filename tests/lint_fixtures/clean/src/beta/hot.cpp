@@ -1,6 +1,7 @@
 // Passing hotpath + deprecation + layering cases: a clean ARVY_HOT body
 // (banned-construct names in comments and strings must NOT fire - "new",
-// "throw", std::mutex), a downward include, and an ALLOWed engine() call.
+// "throw", std::mutex), a downward include, and an engine-free accessor
+// (the deprecation rule allows no grants, so clean code simply has none).
 #include "alpha/ranked_lock.hpp"
 #include "beta/messages.hpp"
 
@@ -10,8 +11,9 @@ namespace fixture::beta {
 
 struct Engine {
   int engine_state = 0;
-  // ARVY-LINT-ALLOW(deprecation): fixture's sanctioned escape-hatch use
-  int engine() const { return engine_state; }
+  // Named state(), not engine(): the removed escape hatch's spelling is an
+  // unsuppressable error even for unrelated types.
+  int state() const { return engine_state; }
 };
 
 // A hot accumulator: indexing and arithmetic only. The string below spells
@@ -23,9 +25,6 @@ ARVY_HOT int sum(const int* values, int count) {
   return total;
 }
 
-int drive(const Engine& e) {
-  // ARVY-LINT-ALLOW(deprecation): fixture's sanctioned escape-hatch use
-  return e.engine();
-}
+int drive(const Engine& e) { return e.state(); }
 
 }  // namespace fixture::beta

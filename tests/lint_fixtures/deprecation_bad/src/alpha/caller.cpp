@@ -1,14 +1,16 @@
-// BAD: reaches for the deprecated engine() escape hatch without an ALLOW.
+// BAD: reaches for the removed engine() escape hatch. The rule is
+// unsuppressable, so this corpus pins three findings: the ALLOW comment
+// below (stale grant), the definition, and the un-ALLOWed call site.
 namespace fixture::alpha {
 
 struct Directory {
   int engine_state = 0;
-  // ARVY-LINT-ALLOW(deprecation): definition site
+  // ARVY-LINT-ALLOW(deprecation): stale grant - must itself be flagged
   int engine() const { return engine_state; }
 };
 
 int peek(const Directory& d) {
-  return d.engine();  // un-ALLOWed call site: must trip the linter
+  return d.engine();  // call site: must trip the linter
 }
 
 }  // namespace fixture::alpha

@@ -1,4 +1,6 @@
-// Tests for the public facade: Directory and MultiDirectory.
+// Tests for the public facade: Directory, plus the single-object corners of
+// the sharded DirectoryService that replaced MultiDirectory (the service's
+// own suite is tests/test_directory_service.cpp).
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -8,6 +10,7 @@
 
 #include "graph/generators.hpp"
 #include "proto/directory.hpp"
+#include "service/directory_service.hpp"
 
 namespace {
 
@@ -68,39 +71,42 @@ TEST(Directory, CustomInitialConfigIsHonored) {
   EXPECT_EQ(dir.holder(), std::optional<NodeId>{4});
 }
 
-TEST(MultiDirectory, ObjectsAreIndependent) {
+TEST(DirectoryService_, ObjectsAreIndependent) {
   const auto g = graph::make_ring(6);
-  MultiDirectory dirs(g, 3, {.policy = proto::PolicyKind::kIvy});
-  EXPECT_EQ(dirs.object_count(), 3u);
-  dirs.acquire_and_wait(0, 2);
-  dirs.acquire_and_wait(1, 4);
-  EXPECT_EQ(dirs.object(0).holder(), std::optional<NodeId>{2});
-  EXPECT_EQ(dirs.object(1).holder(), std::optional<NodeId>{4});
-  // Object 2 was never touched; its holder is its initial root, unaffected
-  // by the other objects' traffic.
-  EXPECT_TRUE(dirs.object(2).holder().has_value());
-  EXPECT_EQ(dirs.object(2).requests().size(), 0u);
+  DirectoryService service(g, /*object_count=*/3, /*shard_count=*/2,
+                           {.policy = proto::PolicyKind::kIvy});
+  EXPECT_EQ(service.object_count(), 3u);
+  service.acquire_and_wait(0, 2);
+  service.acquire_and_wait(1, 4);
+  EXPECT_EQ(service.holder(0), std::optional<NodeId>{2});
+  EXPECT_EQ(service.holder(1), std::optional<NodeId>{4});
+  // Object 2 was never touched; its holder is its canonical root, unaffected
+  // by the other objects' traffic, and it was never materialized.
+  EXPECT_TRUE(service.holder(2).has_value());
+  EXPECT_LE(service.resident_objects(), 2u);
 }
 
-TEST(MultiDirectory, RootsAreSpreadAcrossNodes) {
+TEST(DirectoryService_, RootsAreSpreadAcrossNodes) {
   const auto g = graph::make_ring(8);
-  MultiDirectory dirs(g, 4, {.policy = proto::PolicyKind::kArrow});
+  DirectoryService service(g, /*object_count=*/8, /*shard_count=*/2,
+                           {.policy = proto::PolicyKind::kArrow});
   std::set<NodeId> roots;
-  for (std::size_t i = 0; i < 4; ++i) {
-    roots.insert(*dirs.object(i).holder());
+  for (std::size_t i = 0; i < 8; ++i) {
+    roots.insert(*service.holder(i));
   }
   EXPECT_GT(roots.size(), 1u);
 }
 
-TEST(MultiDirectory, TotalCostsAggregate) {
+TEST(DirectoryService_, TotalCostsAggregateAcrossShards) {
   const auto g = graph::make_ring(6);
-  MultiDirectory dirs(g, 2, {.policy = proto::PolicyKind::kIvy});
-  dirs.acquire_and_wait(0, 3);
-  dirs.acquire_and_wait(1, 5);
-  const auto total = dirs.total_costs();
-  EXPECT_DOUBLE_EQ(total.find_distance + total.token_distance,
-                   dirs.object(0).costs().total_distance() +
-                       dirs.object(1).costs().total_distance());
+  DirectoryService service(g, /*object_count=*/2, /*shard_count=*/2,
+                           {.policy = proto::PolicyKind::kIvy});
+  service.acquire_and_wait(0, 3);
+  service.acquire_and_wait(1, 5);
+  const auto total = service.cost_snapshot();
+  EXPECT_GT(total.total_distance(), 0.0);
+  EXPECT_GT(total.find_messages + total.token_messages, 0u);
+  EXPECT_EQ(service.satisfied_count(), 2u);
 }
 
 TEST(AnyDirectoryFacade, DirectoryWorksThroughTheBaseInterface) {
@@ -199,35 +205,17 @@ TEST(DirectoryInspect, InspectIsReadOnlyAndMatchesTheFacade) {
       "inspect() must hand out a const engine");
 }
 
-TEST(DirectoryDeprecated, EngineEscapeHatchStillWorksButWarns) {
-  // The deprecated escape hatch must keep compiling (downstream migration
-  // window) and keep returning the live engine. This test is the only
-  // sanctioned in-repo use.
-  const auto g = graph::make_ring(8);
-  Directory dir(g, {.policy = proto::PolicyKind::kIvy});
-  dir.acquire_and_wait(3);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // ARVY-LINT-ALLOW(deprecation): the sanctioned escape-hatch pinning test
-  proto::SimEngine& engine = dir.engine();
-  const Directory& const_dir = dir;
-  // ARVY-LINT-ALLOW(deprecation): the sanctioned escape-hatch pinning test
-  const proto::SimEngine& const_engine = const_dir.engine();
-#pragma GCC diagnostic pop
-  EXPECT_EQ(&engine, &dir.inspect());
-  EXPECT_EQ(&const_engine, &dir.inspect());
-}
-
-TEST(MultiDirectory, ParallelAcquiresDrainWithRunAll) {
+TEST(DirectoryService_, ParallelAcquiresDrain) {
   const auto g = graph::make_grid(3, 3);
-  MultiDirectory dirs(g, 3, {.policy = proto::PolicyKind::kIvy});
-  dirs.acquire(0, 1);
-  dirs.acquire(1, 5);
-  dirs.acquire(2, 7);
-  dirs.run_all();
-  EXPECT_EQ(dirs.object(0).holder(), std::optional<NodeId>{1});
-  EXPECT_EQ(dirs.object(1).holder(), std::optional<NodeId>{5});
-  EXPECT_EQ(dirs.object(2).holder(), std::optional<NodeId>{7});
+  DirectoryService service(g, /*object_count=*/3, /*shard_count=*/3,
+                           {.policy = proto::PolicyKind::kIvy});
+  service.acquire(0, 1);
+  service.acquire(1, 5);
+  service.acquire(2, 7);
+  EXPECT_TRUE(service.drain());
+  EXPECT_EQ(service.holder(0), std::optional<NodeId>{1});
+  EXPECT_EQ(service.holder(1), std::optional<NodeId>{5});
+  EXPECT_EQ(service.holder(2), std::optional<NodeId>{7});
 }
 
 }  // namespace

@@ -7,6 +7,12 @@
 //        [--workload uniform|zipf|local|roundrobin] [--seed <S>]
 //        [--concurrent <rate>] [--verify] [--trace] [--csv]
 //        [--faults <spec>] [--retry <spec>|off] [--transport sim|live]
+//   serve --graph <spec|file> --objects <N> --requests <N>
+//        [--shards <N>] [--policy <name>] [--mode sim|live] [--seed <S>]
+//        [--alpha <zipf-skew>] [--faults <spec>] [--retry <spec>|off]
+//        [--verify-sample <per-shard>] [--csv]
+//        the sharded multi-object DirectoryService: N objects hashed over
+//        the shard workers, driven by a Zipf object/node workload
 //
 // Graph specs: ring:N, wring:N (weighted), path:N, star:N, complete:N,
 // grid:RxC, torus:RxC, hypercube:D, tree:N, gnp:N:P, geo:N:R - or a path to
@@ -26,6 +32,8 @@
 //   arvy_cli run --graph ring:16 --policy ivy --requests 50 --transport live
 //       --faults drop=0.05
 //   arvy_cli gen --graph grid:6x6 --out mesh.graph && arvy_cli info --graph mesh.graph
+//   arvy_cli serve --graph grid:4x4 --objects 100000 --shards 4 --requests 20000
+//       --mode live --faults drop=0.1,shards=0 --verify-sample 4
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +52,8 @@
 #include "graph/tree_metrics.hpp"
 #include "proto/directory.hpp"
 #include "runtime/live_directory.hpp"
+#include "service/directory_service.hpp"
+#include "service/request.hpp"
 #include "support/table.hpp"
 #include "verify/configuration.hpp"
 #include "verify/fault_tolerant.hpp"
@@ -360,14 +370,114 @@ int cmd_run(const Flags& flags) {
   return liveness.ok ? 0 : 1;
 }
 
+// The sharded multi-object service: N objects hashed over shard workers,
+// driven by a Zipf object/node workload, with a sampled Lemma-2 sweep at
+// the end. The CLI face of ROADMAP item 1.
+int cmd_serve(const Flags& flags) {
+  const std::uint64_t seed =
+      flags.has("seed") ? std::stoull(flags.require("seed")) : 1;
+  const graph::Graph g = build_graph(flags.require("graph"), seed);
+  const std::size_t objects = std::stoul(flags.require("objects"));
+  const std::size_t requests = std::stoul(flags.require("requests"));
+  const std::size_t shards =
+      flags.has("shards") ? std::stoul(flags.require("shards")) : 2;
+  const double alpha =
+      flags.has("alpha") ? std::stod(flags.require("alpha")) : 0.9;
+  const std::string mode_name = flags.get("mode").value_or("sim");
+  if (mode_name != "sim" && mode_name != "live") {
+    usage_error("--mode must be sim or live");
+  }
+  const ServiceMode mode =
+      mode_name == "live" ? ServiceMode::kLive : ServiceMode::kSim;
+  if (objects == 0 || shards == 0) {
+    usage_error("--objects and --shards must be positive");
+  }
+
+  Options options;
+  options.policy = flags.has("policy")
+                       ? parse_policy(flags.require("policy"))
+                       : proto::PolicyKind::kIvy;
+  options.seed = seed;
+  if (auto spec = flags.get("faults"); spec.has_value()) {
+    options.faults = faults::parse_fault_plan(*spec);
+  }
+  if (auto spec = flags.get("retry"); spec.has_value()) {
+    options.retry = faults::parse_retry_policy(*spec);
+  }
+
+  DirectoryService service(g, objects, shards, options, mode);
+
+  // Zipf-popular objects, Zipf-popular requester nodes - the bench/
+  // multi_object workload shape, sized by --requests.
+  support::Rng rng(seed + 100);
+  support::ZipfSampler object_sampler(objects, alpha);
+  workload::ZipfNodeSampler node_sampler(g.node_count(), 1.1, rng);
+  std::vector<service::ObjectRequest> volley;
+  volley.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    volley.push_back(service::ObjectRequest{
+        static_cast<service::ObjectId>(object_sampler.sample(rng)),
+        node_sampler.sample(rng), 0});
+  }
+  service.submit_batch(volley);
+  const bool drained = service.drain(std::chrono::milliseconds(120'000));
+  if (mode == ServiceMode::kLive) service.shutdown();
+
+  const std::size_t per_shard =
+      flags.has("verify-sample") ? std::stoul(flags.require("verify-sample"))
+                                 : 4;
+  const auto report = service.check_sampled(per_shard, seed);
+  const auto costs = service.cost_snapshot();
+  const double satisfied =
+      static_cast<double>(service.satisfied_count());
+
+  support::Table table({"metric", "value"});
+  table.add_row({"mode", mode_name});
+  table.add_row(
+      {"policy", std::string(proto::policy_kind_name(options.policy))});
+  table.add_row({"nodes", support::Table::cell(g.node_count())});
+  table.add_row({"objects", support::Table::cell(service.object_count())});
+  table.add_row({"shards", support::Table::cell(service.shard_count())});
+  table.add_row({"requests", support::Table::cell(service.submitted_count())});
+  table.add_row({"satisfied", support::Table::cell(service.satisfied_count())});
+  table.add_row(
+      {"resident_objects", support::Table::cell(service.resident_objects())});
+  table.add_row(
+      {"resident_bytes", support::Table::cell(service.resident_bytes())});
+  table.add_row({"routing_epoch", support::Table::cell(service.routing_epoch())});
+  table.add_row({"find_distance", support::Table::cell(costs.find_distance, 1)});
+  table.add_row(
+      {"token_distance", support::Table::cell(costs.token_distance, 1)});
+  table.add_row({"find_messages", support::Table::cell(costs.find_messages)});
+  table.add_row({"token_messages", support::Table::cell(costs.token_messages)});
+  if (satisfied > 0.0) {
+    table.add_row({"distance_per_satisfied",
+                   support::Table::cell(costs.total_distance() / satisfied, 2)});
+  }
+  table.add_row({"recoveries", support::Table::cell(service.recovery_count())});
+  if (!options.faults.empty()) add_fault_rows(table, service.fault_stats());
+  table.add_row({"verify_sampled",
+                 report ? "ok (" + std::to_string(report.objects_checked) +
+                              " objects)"
+                        : report.first_failure});
+  table.add_row({"all_satisfied", drained ? "yes" : "NO"});
+  if (flags.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return (drained && report) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage_error("missing subcommand (gen | info | run)");
+  if (argc < 2) usage_error("missing subcommand (gen | info | run | serve)");
   const std::string command = argv[1];
   const Flags flags = parse_flags(argc, argv, 2);
   if (command == "gen") return cmd_gen(flags);
   if (command == "info") return cmd_info(flags);
   if (command == "run") return cmd_run(flags);
+  if (command == "serve") return cmd_serve(flags);
   usage_error("unknown subcommand " + command);
 }

@@ -23,9 +23,11 @@
 //                static_assert(std::is_trivially_copyable_v<...>) in the
 //                same header - the machine-checked prerequisite for the
 //                flat POD wire encoding (proto/wire.hpp, roadmap item 2).
-//   deprecation  the [[deprecated]] Directory::engine() escape hatch is an
-//                error everywhere; lexically, any `engine()` call or
-//                declaration. The allowlist is inline-only and shrinking.
+//   deprecation  the Directory::engine() escape hatch was removed by the
+//                DirectoryService refactor; lexically, any `engine()` call
+//                or declaration is an error. The rule is unsuppressable:
+//                it ignores ARVY-LINT-ALLOW, and any surviving
+//                ALLOW(deprecation) grant is itself flagged as stale.
 //   atomic       every std::atomic declared under src/ must carry a
 //                `// ARVY-ATOMIC(role)` annotation; the [atomic] config
 //                section fixes, per role, the legal memory_order set for
@@ -53,7 +55,8 @@
 // Suppression: `// ARVY-LINT-ALLOW(rule)` (optionally `(rule1,rule2)`, with
 // a trailing `: justification`) is the single suppression mechanism. It
 // silences the named rule(s) on its own line and the next line, so it works
-// both trailing and as a lead-in comment. Whole-file grants exist only where
+// both trailing and as a lead-in comment. The deprecation rule is the one
+// exception: its migration window is closed, so it accepts no grants. Whole-file grants exist only where
 // the config declares them ([lock] allow_files; [msgpod] headers scope;
 // [audit] assume_clean/allow for the object mode, where there are no
 // source lines to annotate).
@@ -307,6 +310,9 @@ struct SourceFile {
   std::vector<Token> tokens;
   // line -> rules allowed on that line (ALLOW covers its line and the next).
   std::map<std::size_t, std::set<std::string>> allows;
+  // Each grant's declaration site, (line, rule), for rules that audit the
+  // grants themselves rather than honor them.
+  std::vector<std::pair<std::size_t, std::string>> allow_sites;
   std::size_t allows_declared = 0;
   // line -> role from an ARVY-ATOMIC(role) comment (same coverage: the
   // annotation's own line and the next, so it works trailing and lead-in).
@@ -329,6 +335,7 @@ void record_allows(SourceFile& f, std::string_view comment, std::size_t line) {
       if (r.empty()) continue;
       f.allows[line].insert(r);
       f.allows[line + 1].insert(r);
+      f.allow_sites.emplace_back(line, r);
       ++f.allows_declared;
     }
     at = close + 1;
@@ -782,16 +789,29 @@ class Linter {
 
   // --- rule: deprecation ---------------------------------------------------
 
+  // Deliberately not routed through add(): the escape hatch is gone, the
+  // migration window is closed, and the rule no longer honors
+  // ARVY-LINT-ALLOW. Any grant still naming the rule is dead weight that
+  // would mask a regression, so it is flagged as its own finding.
   void check_deprecation() {
     for (const SourceFile& f : files_) {
       const auto& toks = f.tokens;
       for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
         if (!toks[i].ident || toks[i].text != "engine") continue;
         if (toks[i + 1].text != "(" || toks[i + 2].text != ")") continue;
-        add(f, toks[i].line, "deprecation",
-            "use of the deprecated engine() escape hatch",
-            "use inspect() for read-only access, or the typed "
-            "drivers/observers for mutation (see proto/directory.hpp)");
+        violations_.push_back(
+            {f.rel, toks[i].line, "deprecation",
+             "use of the removed engine() escape hatch",
+             "use inspect() for read-only access, or the typed "
+             "drivers/observers for mutation (see proto/directory.hpp)"});
+      }
+      for (const auto& [line, rule] : f.allow_sites) {
+        if (rule != "deprecation") continue;
+        violations_.push_back(
+            {f.rel, line, "deprecation",
+             "stale ARVY-LINT-ALLOW(deprecation) grant",
+             "the engine() escape hatch no longer exists and the rule "
+             "accepts no suppressions; delete the ALLOW comment"});
       }
     }
   }
